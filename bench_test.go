@@ -1,0 +1,330 @@
+// Package webgpu_bench holds the repository-level benchmarks: one per
+// paper table and figure (regenerating its core computation), plus the
+// derived-experiment cores. Run with
+//
+//	go test -bench=. -benchmem
+//
+// cmd/webgpu-bench prints the full human-readable reports; these
+// benchmarks time the work those reports are built from.
+package webgpu_bench
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"webgpu/internal/autoscale"
+	"webgpu/internal/cluster"
+	"webgpu/internal/labs"
+	"webgpu/internal/peerreview"
+	"webgpu/internal/platform"
+	"webgpu/internal/queue"
+	"webgpu/internal/sandbox"
+	"webgpu/internal/worker"
+	"webgpu/internal/workload"
+)
+
+// ---- Table I ---------------------------------------------------------------------
+
+func BenchmarkTable1Enrollment(b *testing.B) {
+	params := workload.CalibratedYears()
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range params {
+			_ = p.Simulate(rng)
+		}
+	}
+}
+
+// ---- Figure 1 --------------------------------------------------------------------
+
+func BenchmarkFigure1Activity(b *testing.B) {
+	m := workload.Figure1Model()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		series := m.HourlySeries()
+		_ = workload.Stats(series)
+	}
+}
+
+// ---- Figure 2: v1 push pipeline ----------------------------------------------------
+
+func BenchmarkFigure2V1Pipeline(b *testing.B) {
+	p := platform.New(platform.Options{Arch: platform.V1, Workers: 2})
+	defer p.Close()
+	job := &worker.Job{ID: "bench", LabID: "vector-add",
+		Source: labs.ByID("vector-add").Reference, DatasetID: 0}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := p.Registry.Dispatch(job)
+		if err != nil || !res.Correct() {
+			b.Fatalf("dispatch: %v %v", err, res)
+		}
+	}
+}
+
+// ---- Table II: every lab through the full stack -------------------------------------
+
+func BenchmarkTable2Labs(b *testing.B) {
+	for _, l := range labs.All() {
+		l := l
+		b.Run(l.ID, func(b *testing.B) {
+			n := l.NumGPUs
+			if n == 0 {
+				n = 1
+			}
+			devices := labs.NewDeviceSet(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				o := labs.Run(l, l.Reference, 0, devices, 0)
+				if !o.Correct {
+					b.Fatalf("%s: %s %s", l.ID, o.RuntimeError, o.CheckMessage)
+				}
+			}
+		})
+	}
+}
+
+// ---- Figure 6: v2 broker pipeline ----------------------------------------------------
+
+func BenchmarkFigure6V2Pipeline(b *testing.B) {
+	broker := queue.NewBroker()
+	cs := worker.NewConfigServer(worker.DefaultConfig())
+	node := worker.NewNode(worker.DefaultNodeConfig("bench-worker"))
+	d := worker.NewDriver(node, broker, cs)
+	d.Start()
+	defer d.Stop()
+
+	src := labs.ByID("vector-add").Reference
+	caps := map[string]bool{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		job := &worker.Job{ID: fmt.Sprintf("j%d", i), LabID: "vector-add",
+			Source: src, DatasetID: 0}
+		if _, err := broker.Publish(worker.TopicJobs, worker.EncodeJob(job)); err != nil {
+			b.Fatal(err)
+		}
+		for {
+			del, ok, err := broker.Poll(worker.TopicResults, "bench", caps, time.Minute)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if ok {
+				_ = del.Ack()
+				break
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+}
+
+// ---- Figure 7: container pool (D8 ablation) -------------------------------------------
+
+func BenchmarkFigure7ContainerPool(b *testing.B) {
+	b.Run("warm-pool", func(b *testing.B) {
+		cfg := worker.DefaultNodeConfig("warm")
+		cfg.PerImage = 2
+		n := worker.NewNode(cfg)
+		job := &worker.Job{ID: "j", LabID: "vector-add",
+			Source: labs.ByID("vector-add").Reference, DatasetID: 0}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if res := n.Execute(job); !res.Correct() {
+				b.Fatal(res.Error)
+			}
+		}
+	})
+	b.Run("cold-start", func(b *testing.B) {
+		cfg := worker.DefaultNodeConfig("cold")
+		cfg.PerImage = -1
+		n := worker.NewNode(cfg)
+		job := &worker.Job{ID: "j", LabID: "vector-add",
+			Source: labs.ByID("vector-add").Reference, DatasetID: 0}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if res := n.Execute(job); !res.Correct() {
+				b.Fatal(res.Error)
+			}
+		}
+	})
+}
+
+// ---- D1: GPU ratio sweep ----------------------------------------------------------------
+
+func BenchmarkGPURatio(b *testing.B) {
+	arrivals := make([]float64, 72)
+	for i := range arrivals {
+		arrivals[i] = 224
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, gpus := range []int{1, 2, 4, 8, 16, 32} {
+			_ = autoscale.Simulate(arrivals, time.Unix(0, 0), 30, autoscale.Static{N: gpus})
+		}
+	}
+}
+
+// ---- D2: provisioning -----------------------------------------------------------------
+
+func BenchmarkProvisioning(b *testing.B) {
+	m := workload.Figure1Model()
+	arrivals := workload.SubmissionArrivals(m.HourlySeries(), 2.0)
+	policies := []autoscale.Policy{
+		autoscale.Static{N: 9},
+		autoscale.Reactive{PerWorkerPerHour: 30, TargetHours: 1, Min: 1, Max: 9},
+		autoscale.Scheduled{Base: 2, Boost: 9,
+			BoostDays: map[time.Weekday]bool{time.Wednesday: true, time.Thursday: true}},
+	}
+	ccfg := cluster.DefaultConfig(9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range policies {
+			_ = autoscale.Simulate(arrivals, m.Start, 30, p)
+		}
+		_ = cluster.Simulate(arrivals, ccfg)
+	}
+}
+
+// ---- D3: dispatch --------------------------------------------------------------------
+
+func BenchmarkDispatch(b *testing.B) {
+	b.Run("broker-cycle", func(b *testing.B) {
+		broker := queue.NewBroker()
+		caps := map[string]bool{"cuda": true}
+		payload := []byte("job")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := broker.Publish(worker.TopicJobs, payload); err != nil {
+				b.Fatal(err)
+			}
+			d, ok, err := broker.Poll(worker.TopicJobs, "w", caps, time.Minute)
+			if err != nil || !ok {
+				b.Fatal("poll failed")
+			}
+			_ = d.Ack()
+		}
+	})
+	b.Run("registry-dispatch", func(b *testing.B) {
+		reg := worker.NewRegistry(time.Minute)
+		reg.Register(worker.NewNode(worker.DefaultNodeConfig("w1")))
+		job := &worker.Job{ID: "j", LabID: "vector-add",
+			Source: labs.ByID("vector-add").Reference, DatasetID: worker.DatasetCompileOnly}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := reg.Dispatch(job); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---- D4: peer review --------------------------------------------------------------------
+
+func BenchmarkPeerReview(b *testing.B) {
+	students := make([]string, 2000)
+	for i := range students {
+		students[i] = fmt.Sprintf("s%04d", i)
+	}
+	active := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		active[students[i]] = true
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		as, err := peerreview.AssignRandom("lab", students, 3, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = peerreview.Starvation(as, active)
+	}
+}
+
+// ---- D5: security ---------------------------------------------------------------------
+
+func BenchmarkSecurity(b *testing.B) {
+	src := labs.ByID("tiled-matmul").Reference
+	b.Run("raw-scan", func(b *testing.B) {
+		s := sandbox.NewScanner(nil, sandbox.ScanRaw)
+		b.SetBytes(int64(len(src)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if vs := s.Scan(src); len(vs) != 0 {
+				b.Fatal("clean source flagged")
+			}
+		}
+	})
+	b.Run("preprocessed-scan", func(b *testing.B) {
+		s := sandbox.NewScanner(nil, sandbox.ScanPreprocessed)
+		b.SetBytes(int64(len(src)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if vs := s.Scan(src); len(vs) != 0 {
+				b.Fatal("clean source flagged")
+			}
+		}
+	})
+}
+
+// ---- D6: tagged dispatch ------------------------------------------------------------------
+
+func BenchmarkTaggedDispatch(b *testing.B) {
+	broker := queue.NewBroker()
+	// Fill with a mix of tagged jobs.
+	for i := 0; i < 512; i++ {
+		tags := []string{}
+		if i%20 == 0 {
+			tags = []string{"mpi", "multi-gpu"}
+		}
+		if _, err := broker.Publish(worker.TopicJobs, []byte("x"), tags...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	plainCaps := map[string]bool{"cuda": true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, ok, err := broker.Poll(worker.TopicJobs, "w", plainCaps, time.Minute)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ok {
+			_ = d.Nack() // put it back so the benchmark is steady-state
+		}
+	}
+}
+
+// ---- Compiler / simulator micro-benchmarks ---------------------------------------------
+
+func BenchmarkCompileVectorAdd(b *testing.B) {
+	src := labs.ByID("vector-add").Reference
+	b.SetBytes(int64(len(src)))
+	for i := 0; i < b.N; i++ {
+		if o := labs.CompileOnly(labs.ByID("vector-add"), src); !o.Compiled {
+			b.Fatal(o.CompileError)
+		}
+	}
+}
+
+func BenchmarkCompileTiledMatMul(b *testing.B) {
+	l := labs.ByID("tiled-matmul")
+	b.SetBytes(int64(len(l.Reference)))
+	for i := 0; i < b.N; i++ {
+		if o := labs.CompileOnly(l, l.Reference); !o.Compiled {
+			b.Fatal(o.CompileError)
+		}
+	}
+}
+
+func BenchmarkSimulatedKernelVecAdd(b *testing.B) {
+	l := labs.ByID("vector-add")
+	devices := labs.NewDeviceSet(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := labs.Run(l, l.Reference, 4, devices, 0) // largest dataset (1333 elems)
+		if !o.Correct {
+			b.Fatal(o.RuntimeError)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+// Command webgpu-bench regenerates every table and figure of the WebGPU
+// paper plus the derived ablations. See DESIGN.md for the experiment
+// index and EXPERIMENTS.md for the paper-vs-measured record.
+//
+// Usage:
+//
+//	webgpu-bench -list
+//	webgpu-bench -exp table1
+//	webgpu-bench -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"webgpu/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments")
+	exp := flag.String("exp", "all", "experiment id to run, or 'all'")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("available experiments:")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-14s %s\n", e.ID, e.Name)
+		}
+		return
+	}
+
+	run := func(e experiments.Experiment) {
+		start := time.Now()
+		out := e.Run()
+		fmt.Println(out)
+		fmt.Printf("[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		for _, e := range experiments.All() {
+			run(e)
+		}
+		return
+	}
+	e := experiments.ByID(*exp)
+	if e == nil {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+		os.Exit(1)
+	}
+	run(*e)
+}

@@ -1,0 +1,94 @@
+// Command webgpu-worker runs a standalone worker fleet against an
+// in-process broker under a synthetic job stream — the load-testing rig
+// used to size worker fleets before a deadline week (§III: "We increased
+// the number of GPUs available to WebGPU the day before the deadline").
+//
+// Usage:
+//
+//	webgpu-worker -workers 4 -jobs 100 -lab tiled-matmul
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"webgpu/internal/labs"
+	"webgpu/internal/queue"
+	"webgpu/internal/worker"
+)
+
+func main() {
+	workers := flag.Int("workers", 2, "worker drivers to run")
+	gpus := flag.Int("gpus", 2, "simulated GPUs per worker")
+	jobs := flag.Int("jobs", 50, "jobs to push through the broker")
+	labID := flag.String("lab", "vector-add", "lab whose reference solution to run")
+	dataset := flag.Int("dataset", 0, "dataset index (-1 = all)")
+	flag.Parse()
+
+	l := labs.ByID(*labID)
+	if l == nil {
+		log.Fatalf("unknown lab %q", *labID)
+	}
+
+	broker := queue.NewBroker()
+	cfgSrv := worker.NewConfigServer(worker.DefaultConfig())
+	fleet := worker.NewFleet(broker, cfgSrv, func(id string) *worker.Node {
+		cfg := worker.DefaultNodeConfig(id)
+		cfg.GPUs = *gpus
+		return worker.NewNode(cfg)
+	})
+	fleet.Scale(*workers)
+	defer fleet.Stop()
+
+	start := time.Now()
+	for i := 0; i < *jobs; i++ {
+		job := &worker.Job{
+			ID:           fmt.Sprintf("job-%05d", i),
+			LabID:        l.ID,
+			UserID:       fmt.Sprintf("load-user-%03d", i%97),
+			Source:       l.Reference,
+			DatasetID:    *dataset,
+			Requirements: l.Requirements,
+		}
+		if _, err := broker.Publish(worker.TopicJobs, worker.EncodeJob(job), l.Requirements...); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	caps := map[string]bool{}
+	correct, failed := 0, 0
+	for done := 0; done < *jobs; {
+		d, ok, err := broker.Poll(worker.TopicResults, "collector", caps, time.Minute)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ok {
+			time.Sleep(2 * time.Millisecond)
+			continue
+		}
+		res, err := worker.DecodeResult(d.Msg.Payload)
+		if err != nil {
+			_ = d.Nack()
+			continue
+		}
+		if res.Correct() {
+			correct++
+		} else {
+			failed++
+			fmt.Fprintf(os.Stderr, "job %s failed: %s\n", res.JobID, res.Error)
+		}
+		_ = d.Ack()
+		done++
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("lab:        %s (%s)\n", l.Name, l.ID)
+	fmt.Printf("fleet:      %d workers x %d GPUs\n", *workers, *gpus)
+	fmt.Printf("jobs:       %d total, %d correct, %d failed\n", *jobs, correct, failed)
+	fmt.Printf("wall time:  %v (%.1f jobs/s)\n", elapsed.Round(time.Millisecond),
+		float64(*jobs)/elapsed.Seconds())
+	fmt.Printf("broker:     %+v\n", broker.Stats())
+}

@@ -1,0 +1,3 @@
+module webgpu
+
+go 1.22

@@ -1,0 +1,203 @@
+// Package autoscale implements the worker-scaling policies the paper
+// discusses and a discrete-time simulator for comparing them. §II-C: "a
+// statically-provisioned computing resource large enough for the
+// beginning of the course will be mostly idle by the end"; §III: "We
+// increased the number of GPUs available to WebGPU the day before the
+// deadline" (the scheduled policy); the v2 design's poll model enables
+// fully reactive scaling (§VI-A: "we can more freely perform automatic
+// scaling of the worker nodes").
+package autoscale
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Observation is what a policy sees each tick (one hour).
+type Observation struct {
+	Tick        int
+	Time        time.Time
+	Backlog     int     // jobs waiting
+	OldestWait  float64 // hours the oldest waiting job has waited
+	Workers     int
+	ArrivalRate float64 // jobs that arrived this tick
+}
+
+// Policy decides the desired worker count for the next tick.
+type Policy interface {
+	Name() string
+	Decide(obs Observation) int
+}
+
+// Static keeps a fixed fleet — the traditional provisioning the paper
+// argues against.
+type Static struct {
+	N int
+}
+
+// Name implements Policy.
+func (s Static) Name() string { return "static" }
+
+// Decide implements Policy.
+func (s Static) Decide(Observation) int { return s.N }
+
+// Reactive sizes the fleet so the backlog clears within TargetHours at
+// the per-worker throughput, within [Min, Max].
+type Reactive struct {
+	PerWorkerPerHour float64
+	TargetHours      float64
+	Min, Max         int
+}
+
+// Name implements Policy.
+func (r Reactive) Name() string { return "reactive" }
+
+// Decide implements Policy.
+func (r Reactive) Decide(obs Observation) int {
+	load := float64(obs.Backlog) + obs.ArrivalRate
+	want := int(math.Ceil(load / (r.PerWorkerPerHour * math.Max(r.TargetHours, 1e-9))))
+	if want < r.Min {
+		want = r.Min
+	}
+	if r.Max > 0 && want > r.Max {
+		want = r.Max
+	}
+	return want
+}
+
+// Scheduled runs Base workers normally and Boost workers on the listed
+// weekdays — the paper's manual "day before the deadline" scale-up.
+type Scheduled struct {
+	Base, Boost int
+	BoostDays   map[time.Weekday]bool
+}
+
+// Name implements Policy.
+func (s Scheduled) Name() string { return "scheduled" }
+
+// Decide implements Policy.
+func (s Scheduled) Decide(obs Observation) int {
+	if s.BoostDays[obs.Time.Weekday()] {
+		return s.Boost
+	}
+	return s.Base
+}
+
+// Hybrid takes the max of a schedule and a reactive floor: the scheduled
+// boost handles the known deadline rush, the reactive part absorbs
+// surprises.
+type Hybrid struct {
+	Sched    Scheduled
+	Reactive Reactive
+}
+
+// Name implements Policy.
+func (h Hybrid) Name() string { return "hybrid" }
+
+// Decide implements Policy.
+func (h Hybrid) Decide(obs Observation) int {
+	a, b := h.Sched.Decide(obs), h.Reactive.Decide(obs)
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Result summarizes one simulated course under a policy.
+type Result struct {
+	Policy         string
+	Completed      int
+	Dropped        int // jobs still queued at course end
+	WorkerHours    float64
+	MeanWaitHours  float64
+	P95WaitHours   float64
+	MaxWaitHours   float64
+	MaxQueue       int
+	MeanWorkers    float64
+	PeakWorkers    int
+	UtilizationPct float64 // busy worker-hours / provisioned worker-hours
+}
+
+// Simulate runs an hourly discrete-event queue: arrivals[t] jobs arrive at
+// tick t, each worker serves perWorkerPerHour jobs per tick, and the
+// policy resizes the fleet each tick. Jobs are FIFO; waits are measured in
+// hours from arrival to service start.
+func Simulate(arrivals []float64, start time.Time, perWorkerPerHour float64, p Policy) Result {
+	res := Result{Policy: p.Name()}
+	type job struct{ arrived int }
+	var queue []job
+	var waits []float64
+	workers := 0
+	var busyHours float64
+	carry := 0.0 // fractional arrivals carried between ticks
+
+	for t := 0; t < len(arrivals); t++ {
+		now := start.Add(time.Duration(t) * time.Hour)
+
+		carry += arrivals[t]
+		n := int(carry)
+		carry -= float64(n)
+		for i := 0; i < n; i++ {
+			queue = append(queue, job{arrived: t})
+		}
+
+		oldest := 0.0
+		if len(queue) > 0 {
+			oldest = float64(t - queue[0].arrived)
+		}
+		workers = p.Decide(Observation{
+			Tick:        t,
+			Time:        now,
+			Backlog:     len(queue),
+			OldestWait:  oldest,
+			Workers:     workers,
+			ArrivalRate: arrivals[t],
+		})
+		if workers < 0 {
+			workers = 0
+		}
+		res.WorkerHours += float64(workers)
+		res.MeanWorkers += float64(workers)
+		if workers > res.PeakWorkers {
+			res.PeakWorkers = workers
+		}
+
+		capacity := int(float64(workers) * perWorkerPerHour)
+		served := capacity
+		if served > len(queue) {
+			served = len(queue)
+		}
+		for i := 0; i < served; i++ {
+			waits = append(waits, float64(t-queue[i].arrived))
+		}
+		busyHours += float64(served) / math.Max(perWorkerPerHour, 1e-9)
+		queue = queue[served:]
+		if len(queue) > res.MaxQueue {
+			res.MaxQueue = len(queue)
+		}
+	}
+
+	res.Completed = len(waits)
+	res.Dropped = len(queue)
+	if len(arrivals) > 0 {
+		res.MeanWorkers /= float64(len(arrivals))
+	}
+	if res.WorkerHours > 0 {
+		res.UtilizationPct = 100 * busyHours / res.WorkerHours
+	}
+	if len(waits) > 0 {
+		var sum float64
+		for _, w := range waits {
+			sum += w
+			if w > res.MaxWaitHours {
+				res.MaxWaitHours = w
+			}
+		}
+		res.MeanWaitHours = sum / float64(len(waits))
+		sorted := append([]float64(nil), waits...)
+		sort.Float64s(sorted)
+		res.P95WaitHours = sorted[int(0.95*float64(len(sorted)-1))]
+	}
+	return res
+}

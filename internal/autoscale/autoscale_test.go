@@ -1,0 +1,131 @@
+package autoscale
+
+import (
+	"testing"
+	"time"
+
+	"webgpu/internal/workload"
+)
+
+func courseArrivals() ([]float64, time.Time) {
+	m := workload.Figure1Model()
+	series := m.HourlySeries()
+	return workload.SubmissionArrivals(series, 2.0), m.Start
+}
+
+const svcRate = 30.0 // jobs per worker per hour
+
+func TestStaticPolicy(t *testing.T) {
+	arr, start := courseArrivals()
+	res := Simulate(arr, start, svcRate, Static{N: 8})
+	if res.Policy != "static" {
+		t.Errorf("name = %s", res.Policy)
+	}
+	if res.Completed == 0 {
+		t.Fatal("nothing completed")
+	}
+	if res.MeanWorkers != 8 || res.PeakWorkers != 8 {
+		t.Errorf("static workers drifted: mean=%v peak=%d", res.MeanWorkers, res.PeakWorkers)
+	}
+}
+
+// The paper's core provisioning claim (§II-C): a static fleet sized for
+// the course start is mostly idle by the end; elastic scaling delivers
+// comparable latency for far fewer worker-hours.
+func TestElasticBeatsStaticOnCost(t *testing.T) {
+	arr, start := courseArrivals()
+
+	// Static sized for the peak hour.
+	peak := 0.0
+	for _, a := range arr {
+		if a > peak {
+			peak = a
+		}
+	}
+	staticN := int(peak/svcRate) + 1
+	static := Simulate(arr, start, svcRate, Static{N: staticN})
+
+	reactive := Simulate(arr, start, svcRate, Reactive{
+		PerWorkerPerHour: svcRate, TargetHours: 1, Min: 1, Max: staticN,
+	})
+
+	if reactive.WorkerHours >= static.WorkerHours {
+		t.Errorf("reactive worker-hours %.0f >= static %.0f", reactive.WorkerHours, static.WorkerHours)
+	}
+	// Large saving: the decay + weekly cycle leaves static mostly idle.
+	if reactive.WorkerHours > 0.5*static.WorkerHours {
+		t.Errorf("elastic saving too small: %.0f vs %.0f worker-hours",
+			reactive.WorkerHours, static.WorkerHours)
+	}
+	// And latency stays acceptable.
+	if reactive.P95WaitHours > static.P95WaitHours+1.5 {
+		t.Errorf("reactive p95 wait %.2fh vs static %.2fh", reactive.P95WaitHours, static.P95WaitHours)
+	}
+	if reactive.UtilizationPct <= static.UtilizationPct {
+		t.Errorf("reactive utilization %.1f%% <= static %.1f%%",
+			reactive.UtilizationPct, static.UtilizationPct)
+	}
+	t.Logf("static: %d workers, %.0f worker-hours, %.1f%% util, p95 %.2fh",
+		staticN, static.WorkerHours, static.UtilizationPct, static.P95WaitHours)
+	t.Logf("reactive: peak %d workers, %.0f worker-hours, %.1f%% util, p95 %.2fh",
+		reactive.PeakWorkers, reactive.WorkerHours, reactive.UtilizationPct, reactive.P95WaitHours)
+}
+
+// The paper's actual practice: scale up the day before the deadline.
+func TestScheduledBoostHelpsDeadlineDay(t *testing.T) {
+	arr, start := courseArrivals()
+	base := Simulate(arr, start, svcRate, Static{N: 2})
+	sched := Simulate(arr, start, svcRate, Scheduled{
+		Base: 2, Boost: 8,
+		BoostDays: map[time.Weekday]bool{time.Wednesday: true, time.Thursday: true},
+	})
+	if sched.P95WaitHours >= base.P95WaitHours {
+		t.Errorf("scheduled p95 %.2f >= base %.2f", sched.P95WaitHours, base.P95WaitHours)
+	}
+	// The boost costs far less than running 8 workers all week.
+	alwaysBig := Simulate(arr, start, svcRate, Static{N: 8})
+	if sched.WorkerHours >= alwaysBig.WorkerHours {
+		t.Errorf("scheduled cost %.0f >= always-big %.0f", sched.WorkerHours, alwaysBig.WorkerHours)
+	}
+}
+
+func TestHybridTakesMax(t *testing.T) {
+	h := Hybrid{
+		Sched:    Scheduled{Base: 2, Boost: 10, BoostDays: map[time.Weekday]bool{time.Wednesday: true}},
+		Reactive: Reactive{PerWorkerPerHour: svcRate, TargetHours: 1, Min: 1, Max: 50},
+	}
+	wed := Observation{Time: time.Date(2015, 2, 18, 12, 0, 0, 0, time.UTC), Backlog: 0}
+	if got := h.Decide(wed); got != 10 {
+		t.Errorf("wednesday decide = %d", got)
+	}
+	mondayRush := Observation{Time: time.Date(2015, 2, 16, 12, 0, 0, 0, time.UTC), Backlog: 900}
+	if got := h.Decide(mondayRush); got <= 10 {
+		t.Errorf("rush decide = %d, want reactive > 10", got)
+	}
+}
+
+func TestReactiveBounds(t *testing.T) {
+	r := Reactive{PerWorkerPerHour: 10, TargetHours: 1, Min: 2, Max: 5}
+	if got := r.Decide(Observation{Backlog: 0}); got != 2 {
+		t.Errorf("idle decide = %d, want Min", got)
+	}
+	if got := r.Decide(Observation{Backlog: 10000}); got != 5 {
+		t.Errorf("overload decide = %d, want Max", got)
+	}
+}
+
+func TestSimulateConservation(t *testing.T) {
+	arr := []float64{10, 10, 10, 0, 0, 0, 0, 0}
+	res := Simulate(arr, time.Unix(0, 0), 5, Static{N: 2})
+	if res.Completed+res.Dropped != 30 {
+		t.Errorf("jobs lost: completed %d + dropped %d != 30", res.Completed, res.Dropped)
+	}
+}
+
+func TestZeroWorkersDropsEverything(t *testing.T) {
+	arr := []float64{5, 5}
+	res := Simulate(arr, time.Unix(0, 0), 10, Static{N: 0})
+	if res.Completed != 0 || res.Dropped != 10 {
+		t.Errorf("res = %+v", res)
+	}
+}

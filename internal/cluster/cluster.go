@@ -1,0 +1,123 @@
+// Package cluster models the traditional educational/research HPC batch
+// cluster the paper compares WebGPU against (§II-B option 3, §III). Jobs
+// go through a batch scheduler with a dispatch interval, share the
+// machine with competing research workloads under fair-share, and run on
+// a statically provisioned node count — the properties that make a
+// cluster a poor fit for a MOOC: scheduling latency of little pedagogical
+// value, competition with other users, and peak provisioning that sits
+// idle once enrollment decays.
+package cluster
+
+import (
+	"math"
+	"sort"
+)
+
+// Config describes the cluster.
+type Config struct {
+	Nodes              int     // static node count
+	JobsPerNodePerHour float64 // service rate for course jobs
+	ExternalLoad       float64 // fraction of the cluster busy with research jobs (0..1)
+	SchedIntervalHours float64 // batch scheduler dispatch latency added to every job
+	FairShareCap       float64 // max fraction of the cluster the course may use (0..1]
+}
+
+// DefaultConfig mirrors a mid-2010s shared campus cluster.
+func DefaultConfig(nodes int) Config {
+	return Config{
+		Nodes:              nodes,
+		JobsPerNodePerHour: 60,
+		ExternalLoad:       0.5,
+		SchedIntervalHours: 0.1, // ~6 minutes of scheduling/launch overhead
+		FairShareCap:       0.5,
+	}
+}
+
+// Result summarizes a simulated course on the cluster.
+type Result struct {
+	Completed      int
+	Dropped        int
+	NodeHours      float64 // provisioned node-hours (static: nodes × course length)
+	MeanWaitHours  float64
+	P95WaitHours   float64
+	MaxQueue       int
+	UtilizationPct float64 // course-busy node-hours / provisioned node-hours
+}
+
+// Simulate pushes the hourly arrival series through the cluster.
+func Simulate(arrivals []float64, cfg Config) Result {
+	res := Result{}
+	type job struct{ arrived int }
+	var queue []job
+	var waits []float64
+	carry := 0.0
+	var busyNodeHours float64
+
+	// Effective course capacity per hour: nodes not taken by external
+	// load, further capped by fair-share.
+	avail := float64(cfg.Nodes) * (1 - cfg.ExternalLoad)
+	if cap := float64(cfg.Nodes) * cfg.FairShareCap; avail > cap {
+		avail = cap
+	}
+	capacityPerHour := avail * cfg.JobsPerNodePerHour
+
+	for t := 0; t < len(arrivals); t++ {
+		carry += arrivals[t]
+		n := int(carry)
+		carry -= float64(n)
+		for i := 0; i < n; i++ {
+			queue = append(queue, job{arrived: t})
+		}
+		served := int(capacityPerHour)
+		if served > len(queue) {
+			served = len(queue)
+		}
+		for i := 0; i < served; i++ {
+			// Wait = queueing time + the batch scheduler's dispatch latency,
+			// paid by every job.
+			waits = append(waits, float64(t-queue[i].arrived)+cfg.SchedIntervalHours)
+		}
+		busyNodeHours += float64(served) / math.Max(cfg.JobsPerNodePerHour, 1e-9)
+		queue = queue[served:]
+		if len(queue) > res.MaxQueue {
+			res.MaxQueue = len(queue)
+		}
+	}
+
+	res.Completed = len(waits)
+	res.Dropped = len(queue)
+	res.NodeHours = float64(cfg.Nodes) * float64(len(arrivals))
+	if res.NodeHours > 0 {
+		res.UtilizationPct = 100 * busyNodeHours / res.NodeHours
+	}
+	if len(waits) > 0 {
+		var sum float64
+		for _, w := range waits {
+			sum += w
+		}
+		res.MeanWaitHours = sum / float64(len(waits))
+		sorted := append([]float64(nil), waits...)
+		sort.Float64s(sorted)
+		res.P95WaitHours = sorted[int(0.95*float64(len(sorted)-1))]
+	}
+	return res
+}
+
+// SizeForPeak returns the node count needed to keep up with the peak
+// arrival rate — what static provisioning must buy.
+func SizeForPeak(arrivals []float64, cfg Config) int {
+	peak := 0.0
+	for _, a := range arrivals {
+		if a > peak {
+			peak = a
+		}
+	}
+	perNode := cfg.JobsPerNodePerHour * (1 - cfg.ExternalLoad)
+	if cap := cfg.JobsPerNodePerHour * cfg.FairShareCap; perNode > cap {
+		perNode = cap
+	}
+	if perNode <= 0 {
+		return 0
+	}
+	return int(math.Ceil(peak / perNode))
+}

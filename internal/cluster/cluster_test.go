@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"testing"
+
+	"webgpu/internal/autoscale"
+	"webgpu/internal/workload"
+)
+
+func courseArrivals() []float64 {
+	m := workload.Figure1Model()
+	return workload.SubmissionArrivals(m.HourlySeries(), 2.0)
+}
+
+func TestSimulateConservation(t *testing.T) {
+	arr := []float64{20, 20, 0, 0}
+	res := Simulate(arr, DefaultConfig(4))
+	if res.Completed+res.Dropped != 40 {
+		t.Errorf("jobs lost: %d + %d != 40", res.Completed, res.Dropped)
+	}
+}
+
+func TestSchedulerLatencyAddsToEveryJob(t *testing.T) {
+	cfg := DefaultConfig(100) // ample capacity: waits are pure overhead
+	arr := []float64{10, 10}
+	res := Simulate(arr, cfg)
+	if res.MeanWaitHours < cfg.SchedIntervalHours {
+		t.Errorf("mean wait %.3f < scheduler latency %.3f", res.MeanWaitHours, cfg.SchedIntervalHours)
+	}
+}
+
+func TestExternalLoadReducesCapacity(t *testing.T) {
+	arr := courseArrivals()
+	quiet := DefaultConfig(4)
+	quiet.ExternalLoad = 0
+	busy := DefaultConfig(4)
+	busy.ExternalLoad = 0.8
+	rq := Simulate(arr, quiet)
+	rb := Simulate(arr, busy)
+	if rb.P95WaitHours <= rq.P95WaitHours {
+		t.Errorf("busy cluster p95 %.2f <= quiet %.2f", rb.P95WaitHours, rq.P95WaitHours)
+	}
+}
+
+func TestSizeForPeak(t *testing.T) {
+	arr := courseArrivals()
+	cfg := DefaultConfig(0)
+	n := SizeForPeak(arr, cfg)
+	if n <= 0 {
+		t.Fatalf("n = %d", n)
+	}
+	cfg.Nodes = n
+	res := Simulate(arr, cfg)
+	if res.Dropped > res.Completed/100 {
+		t.Errorf("peak-sized cluster dropped %d of %d", res.Dropped, res.Completed)
+	}
+}
+
+// The D2 comparison: the peak-provisioned static cluster is mostly idle
+// over the course (enrollment decay), while WebGPU's reactive fleet keeps
+// utilization high at similar latency.
+func TestClusterIdleVsElasticWebGPU(t *testing.T) {
+	arr := courseArrivals()
+	ccfg := DefaultConfig(0)
+	ccfg.Nodes = SizeForPeak(arr, ccfg)
+	clusterRes := Simulate(arr, ccfg)
+
+	elastic := autoscale.Simulate(arr, workload.Figure1Model().Start, 30,
+		autoscale.Reactive{PerWorkerPerHour: 30, TargetHours: 1, Min: 1, Max: 100})
+
+	if clusterRes.UtilizationPct >= elastic.UtilizationPct {
+		t.Errorf("cluster utilization %.1f%% >= elastic %.1f%%",
+			clusterRes.UtilizationPct, elastic.UtilizationPct)
+	}
+	if clusterRes.UtilizationPct > 30 {
+		t.Errorf("peak-provisioned shared cluster should be mostly idle, got %.1f%%",
+			clusterRes.UtilizationPct)
+	}
+	t.Logf("cluster: %d nodes, util %.1f%%, p95 %.2fh; elastic: util %.1f%%, p95 %.2fh",
+		ccfg.Nodes, clusterRes.UtilizationPct, clusterRes.P95WaitHours,
+		elastic.UtilizationPct, elastic.P95WaitHours)
+}

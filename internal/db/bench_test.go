@@ -1,0 +1,123 @@
+package db
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+type benchRec struct {
+	Name  string `json:"name"`
+	Role  string `json:"role"`
+	Count int    `json:"count"`
+}
+
+func BenchmarkPut(b *testing.B) {
+	d := New()
+	for i := 0; i < b.N; i++ {
+		err := d.Update(func(tx *Tx) error {
+			return tx.Put("t", fmt.Sprintf("k%d", i%4096), benchRec{Name: "x", Count: i})
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	d := New()
+	_ = d.Update(func(tx *Tx) error {
+		for i := 0; i < 4096; i++ {
+			if err := tx.Put("t", fmt.Sprintf("k%d", i), benchRec{Name: "x", Count: i}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var r benchRec
+		err := d.View(func(tx *Tx) error {
+			return tx.Get("t", fmt.Sprintf("k%d", i%4096), &r)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIndexLookup(b *testing.B) {
+	d := New()
+	d.CreateIndex("t", "role")
+	_ = d.Update(func(tx *Tx) error {
+		for i := 0; i < 4096; i++ {
+			role := "student"
+			if i%64 == 0 {
+				role = "instructor"
+			}
+			if err := tx.Put("t", fmt.Sprintf("k%d", i), benchRec{Role: role}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.View(func(tx *Tx) error {
+			if got := tx.IndexLookup("t", "role", "instructor"); len(got) != 64 {
+				b.Fatalf("lookup = %d", len(got))
+			}
+			return nil
+		})
+	}
+}
+
+func BenchmarkWALAppendAndReplay(b *testing.B) {
+	b.Run("append", func(b *testing.B) {
+		var buf bytes.Buffer
+		d := New()
+		d.AttachWAL(NewWAL(&buf))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			err := d.Update(func(tx *Tx) error {
+				return tx.Put("t", fmt.Sprintf("k%d", i%1024), benchRec{Count: i})
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("replay-1k", func(b *testing.B) {
+		var buf bytes.Buffer
+		d := New()
+		d.AttachWAL(NewWAL(&buf))
+		for i := 0; i < 1000; i++ {
+			_ = d.Update(func(tx *Tx) error {
+				return tx.Put("t", fmt.Sprintf("k%d", i), benchRec{Count: i})
+			})
+		}
+		log := buf.Bytes()
+		b.SetBytes(int64(len(log)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fresh := New()
+			if err := fresh.Replay(bytes.NewReader(log)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkReplication(b *testing.B) {
+	primary := New()
+	rep := NewReplica(primary)
+	defer rep.Stop()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = primary.Update(func(tx *Tx) error {
+			return tx.Put("t", fmt.Sprintf("k%d", i%1024), benchRec{Count: i})
+		})
+	}
+	b.StopTimer()
+	rep.WaitCaughtUp(0)
+}

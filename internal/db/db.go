@@ -1,0 +1,382 @@
+// Package db is the embedded transactional record store behind WebGPU's
+// web tier, standing in for the MySQL (v1) and Aurora/replicated (v2)
+// databases of §III-B and §VI-A. It stores JSON-encoded records in named
+// tables, provides serializable read-write transactions, write-ahead-log
+// persistence with snapshots, secondary indexes, streaming replication to
+// read replicas, and a bounded connection pool.
+package db
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Errors.
+var (
+	ErrNotFound   = errors.New("db: record not found")
+	ErrConflict   = errors.New("db: transaction conflict")
+	ErrClosed     = errors.New("db: database closed")
+	ErrBadRecord  = errors.New("db: record is not a JSON object")
+	ErrPoolClosed = errors.New("db: connection pool closed")
+)
+
+// Entry is one committed mutation, the unit of the WAL and of replication.
+type Entry struct {
+	Seq   uint64          `json:"seq"`
+	Table string          `json:"table"`
+	Key   string          `json:"key"`
+	Value json.RawMessage `json:"value,omitempty"` // nil = delete
+}
+
+type table struct {
+	rows map[string][]byte
+	// indexes: field name -> value -> set of keys
+	indexes map[string]map[string]map[string]struct{}
+}
+
+func newTable() *table {
+	return &table{rows: map[string][]byte{}, indexes: map[string]map[string]map[string]struct{}{}}
+}
+
+// DB is the store. All methods are safe for concurrent use; writes are
+// serialized (single writer), reads run under a shared lock.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*table
+	seq    uint64
+	closed bool
+
+	wal *WAL
+
+	subMu sync.Mutex
+	subs  []chan Entry
+}
+
+// New creates an empty in-memory database.
+func New() *DB {
+	return &DB{tables: map[string]*table{}}
+}
+
+// Close marks the database closed; in-flight readers finish, new
+// transactions fail.
+func (d *DB) Close() {
+	d.mu.Lock()
+	d.closed = true
+	d.mu.Unlock()
+	d.subMu.Lock()
+	for _, ch := range d.subs {
+		close(ch)
+	}
+	d.subs = nil
+	d.subMu.Unlock()
+}
+
+// Seq returns the last committed sequence number.
+func (d *DB) Seq() uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.seq
+}
+
+// CreateIndex declares a secondary index on a string (or stringable)
+// field of a table's records. Existing rows are indexed immediately.
+func (d *DB) CreateIndex(tableName, field string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	t := d.tableLocked(tableName)
+	if _, ok := t.indexes[field]; ok {
+		return
+	}
+	idx := map[string]map[string]struct{}{}
+	t.indexes[field] = idx
+	for key, raw := range t.rows {
+		if v, ok := extractField(raw, field); ok {
+			addToIndex(idx, v, key)
+		}
+	}
+}
+
+func (d *DB) tableLocked(name string) *table {
+	t, ok := d.tables[name]
+	if !ok {
+		t = newTable()
+		d.tables[name] = t
+	}
+	return t
+}
+
+func extractField(raw []byte, field string) (string, bool) {
+	var m map[string]interface{}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return "", false
+	}
+	v, ok := m[field]
+	if !ok {
+		return "", false
+	}
+	switch x := v.(type) {
+	case string:
+		return x, true
+	case float64:
+		return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", x), "0"), "."), true
+	case bool:
+		if x {
+			return "true", true
+		}
+		return "false", true
+	}
+	return "", false
+}
+
+func addToIndex(idx map[string]map[string]struct{}, value, key string) {
+	set, ok := idx[value]
+	if !ok {
+		set = map[string]struct{}{}
+		idx[value] = set
+	}
+	set[key] = struct{}{}
+}
+
+func removeFromIndex(idx map[string]map[string]struct{}, value, key string) {
+	if set, ok := idx[value]; ok {
+		delete(set, key)
+		if len(set) == 0 {
+			delete(idx, value)
+		}
+	}
+}
+
+// ---- Transactions ------------------------------------------------------------
+
+// Tx is a transaction handle. Read methods see committed state plus the
+// transaction's own writes; mutations are buffered until commit.
+type Tx struct {
+	db       *DB
+	writable bool
+	writes   map[string]map[string]json.RawMessage // table -> key -> value (nil=delete)
+	order    []entryKey
+}
+
+type entryKey struct{ table, key string }
+
+// View runs fn in a read-only transaction.
+func (d *DB) View(fn func(tx *Tx) error) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return ErrClosed
+	}
+	return fn(&Tx{db: d})
+}
+
+// Update runs fn in a writable transaction; if fn returns nil the buffered
+// writes commit atomically (and reach the WAL and replicas).
+func (d *DB) Update(fn func(tx *Tx) error) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	tx := &Tx{db: d, writable: true, writes: map[string]map[string]json.RawMessage{}}
+	if err := fn(tx); err != nil {
+		return err
+	}
+	return d.commitLocked(tx)
+}
+
+func (d *DB) commitLocked(tx *Tx) error {
+	var entries []Entry
+	for _, ek := range tx.order {
+		val := tx.writes[ek.table][ek.key]
+		d.seq++
+		e := Entry{Seq: d.seq, Table: ek.table, Key: ek.key, Value: val}
+		d.applyLocked(e)
+		entries = append(entries, e)
+	}
+	if d.wal != nil {
+		for _, e := range entries {
+			if err := d.wal.append(e); err != nil {
+				return fmt.Errorf("db: wal append: %w", err)
+			}
+		}
+	}
+	if len(entries) > 0 {
+		d.subMu.Lock()
+		for _, ch := range d.subs {
+			for _, e := range entries {
+				select {
+				case ch <- e:
+				default: // slow replica: drop; it will resync from snapshot
+				}
+			}
+		}
+		d.subMu.Unlock()
+	}
+	return nil
+}
+
+func (d *DB) applyLocked(e Entry) {
+	t := d.tableLocked(e.Table)
+	if old, ok := t.rows[e.Key]; ok {
+		for field, idx := range t.indexes {
+			if v, ok := extractField(old, field); ok {
+				removeFromIndex(idx, v, e.Key)
+			}
+		}
+	}
+	if e.Value == nil {
+		delete(t.rows, e.Key)
+		return
+	}
+	cp := make([]byte, len(e.Value))
+	copy(cp, e.Value)
+	t.rows[e.Key] = cp
+	for field, idx := range t.indexes {
+		if v, ok := extractField(cp, field); ok {
+			addToIndex(idx, v, e.Key)
+		}
+	}
+}
+
+// Put stores value (JSON-marshaled) under table/key.
+func (tx *Tx) Put(tableName, key string, value interface{}) error {
+	if !tx.writable {
+		return errors.New("db: put in read-only transaction")
+	}
+	raw, err := json.Marshal(value)
+	if err != nil {
+		return fmt.Errorf("db: marshal: %w", err)
+	}
+	if len(raw) == 0 || raw[0] != '{' {
+		return ErrBadRecord
+	}
+	tx.buffer(tableName, key, raw)
+	return nil
+}
+
+// Delete removes table/key (no error if absent, like SQL DELETE).
+func (tx *Tx) Delete(tableName, key string) error {
+	if !tx.writable {
+		return errors.New("db: delete in read-only transaction")
+	}
+	tx.buffer(tableName, key, nil)
+	return nil
+}
+
+func (tx *Tx) buffer(tableName, key string, raw json.RawMessage) {
+	t, ok := tx.writes[tableName]
+	if !ok {
+		t = map[string]json.RawMessage{}
+		tx.writes[tableName] = t
+	}
+	if _, seen := t[key]; !seen {
+		tx.order = append(tx.order, entryKey{tableName, key})
+	} else {
+		// Re-write of the same key within the tx: keep original order slot.
+		for i, ek := range tx.order {
+			if ek.table == tableName && ek.key == key {
+				tx.order = append(tx.order[:i], tx.order[i+1:]...)
+				break
+			}
+		}
+		tx.order = append(tx.order, entryKey{tableName, key})
+	}
+	t[key] = raw
+}
+
+// Get unmarshals table/key into out, honouring the transaction's buffered
+// writes.
+func (tx *Tx) Get(tableName, key string, out interface{}) error {
+	if t, ok := tx.writes[tableName]; ok {
+		if raw, seen := t[key]; seen {
+			if raw == nil {
+				return ErrNotFound
+			}
+			return json.Unmarshal(raw, out)
+		}
+	}
+	t, ok := tx.db.tables[tableName]
+	if !ok {
+		return ErrNotFound
+	}
+	raw, ok := t.rows[key]
+	if !ok {
+		return ErrNotFound
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// Exists reports whether table/key exists.
+func (tx *Tx) Exists(tableName, key string) bool {
+	var raw json.RawMessage
+	err := tx.Get(tableName, key, &raw)
+	return err == nil
+}
+
+// Keys returns the sorted keys of a table (committed state plus buffered
+// writes).
+func (tx *Tx) Keys(tableName string) []string {
+	set := map[string]bool{}
+	if t, ok := tx.db.tables[tableName]; ok {
+		for k := range t.rows {
+			set[k] = true
+		}
+	}
+	if t, ok := tx.writes[tableName]; ok {
+		for k, v := range t {
+			if v == nil {
+				delete(set, k)
+			} else {
+				set[k] = true
+			}
+		}
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Scan calls fn for every record of the table in key order; fn returning
+// false stops the scan.
+func (tx *Tx) Scan(tableName string, fn func(key string, raw json.RawMessage) bool) {
+	for _, k := range tx.Keys(tableName) {
+		var raw json.RawMessage
+		if err := tx.Get(tableName, k, &raw); err == nil {
+			if !fn(k, raw) {
+				return
+			}
+		}
+	}
+}
+
+// IndexLookup returns the sorted keys whose indexed field equals value
+// (committed state only; indexes update at commit).
+func (tx *Tx) IndexLookup(tableName, field, value string) []string {
+	t, ok := tx.db.tables[tableName]
+	if !ok {
+		return nil
+	}
+	idx, ok := t.indexes[field]
+	if !ok {
+		return nil
+	}
+	set := idx[value]
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Count returns the number of records in the table.
+func (tx *Tx) Count(tableName string) int {
+	return len(tx.Keys(tableName))
+}

@@ -1,0 +1,118 @@
+package db
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Pool is the bounded connection pool the web server keeps to the
+// database (§III-B: "The web-server maintains a connection pool to the
+// database"). Connections are logical handles that meter concurrency and
+// collect usage statistics.
+type Pool struct {
+	db     *DB
+	sem    chan struct{}
+	closed atomic.Bool
+
+	mu        sync.Mutex
+	acquired  int64
+	waits     int64
+	waitTotal time.Duration
+}
+
+// Conn is a pooled handle; it proxies transactions to the database.
+type Conn struct {
+	pool     *Pool
+	released bool
+	mu       sync.Mutex
+}
+
+// NewPool creates a pool with the given number of connections.
+func NewPool(d *DB, size int) *Pool {
+	if size <= 0 {
+		size = 1
+	}
+	p := &Pool{db: d, sem: make(chan struct{}, size)}
+	for i := 0; i < size; i++ {
+		p.sem <- struct{}{}
+	}
+	return p
+}
+
+// Get acquires a connection, waiting up to timeout.
+func (p *Pool) Get(timeout time.Duration) (*Conn, error) {
+	if p.closed.Load() {
+		return nil, ErrPoolClosed
+	}
+	start := time.Now()
+	select {
+	case <-p.sem:
+	default:
+		// Contended: record a wait.
+		p.mu.Lock()
+		p.waits++
+		p.mu.Unlock()
+		select {
+		case <-p.sem:
+		case <-time.After(timeout):
+			return nil, fmt.Errorf("db: pool exhausted after %v", timeout)
+		}
+	}
+	if p.closed.Load() {
+		p.sem <- struct{}{}
+		return nil, ErrPoolClosed
+	}
+	p.mu.Lock()
+	p.acquired++
+	p.waitTotal += time.Since(start)
+	p.mu.Unlock()
+	return &Conn{pool: p}, nil
+}
+
+// Put releases the connection back to the pool; double release is safe.
+func (p *Pool) Put(c *Conn) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.released {
+		return
+	}
+	c.released = true
+	p.sem <- struct{}{}
+}
+
+// Close shuts the pool; outstanding connections may still be released.
+func (p *Pool) Close() { p.closed.Store(true) }
+
+// InUse reports connections currently held.
+func (p *Pool) InUse() int { return cap(p.sem) - len(p.sem) }
+
+// Stats returns acquisition count, wait count, and total wait time.
+func (p *Pool) Stats() (acquired, waits int64, waitTotal time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.acquired, p.waits, p.waitTotal
+}
+
+// View runs a read-only transaction over the pooled database.
+func (c *Conn) View(fn func(tx *Tx) error) error {
+	c.mu.Lock()
+	released := c.released
+	c.mu.Unlock()
+	if released {
+		return ErrPoolClosed
+	}
+	return c.pool.db.View(fn)
+}
+
+// Update runs a read-write transaction over the pooled database.
+func (c *Conn) Update(fn func(tx *Tx) error) error {
+	c.mu.Lock()
+	released := c.released
+	c.mu.Unlock()
+	if released {
+		return ErrPoolClosed
+	}
+	return c.pool.db.Update(fn)
+}

@@ -1,0 +1,314 @@
+package feedback
+
+import (
+	"strings"
+	"testing"
+
+	"webgpu/internal/labs"
+)
+
+func runAttempt(t *testing.T, labID, src string) *labs.Outcome {
+	t.Helper()
+	l := labs.ByID(labID)
+	n := l.NumGPUs
+	if n == 0 {
+		n = 1
+	}
+	return labs.Run(l, src, 0, labs.NewDeviceSet(n), 200000)
+}
+
+func hintCodes(hints []Hint) []string {
+	out := make([]string, len(hints))
+	for i, h := range hints {
+		out[i] = h.Code
+	}
+	return out
+}
+
+func requireHint(t *testing.T, hints []Hint, code string) Hint {
+	t.Helper()
+	for _, h := range hints {
+		if h.Code == code {
+			return h
+		}
+	}
+	t.Fatalf("hint %q not found in %v", code, hintCodes(hints))
+	return Hint{}
+}
+
+func TestNilOutcome(t *testing.T) {
+	hints := Analyze(labs.ByID("vector-add"), "x", nil)
+	requireHint(t, hints, "run-first")
+}
+
+func TestMissingBoundsCheckHint(t *testing.T) {
+	src := `__global__ void vecAdd(float *in1, float *in2, float *out, int len) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  out[i] = in1[i] + in2[i];
+}`
+	o := runAttempt(t, "vector-add", src)
+	if o.RuntimeError == "" {
+		t.Fatal("expected an OOB fault")
+	}
+	h := requireHint(t, Analyze(labs.ByID("vector-add"), src, o), "missing-bounds-check")
+	if h.Confidence < 0.9 {
+		t.Errorf("no-guard kernel should give high confidence, got %v", h.Confidence)
+	}
+	if !strings.Contains(h.Detail, "if (i < len)") {
+		t.Errorf("detail = %q", h.Detail)
+	}
+}
+
+func TestBoundsHintLowerConfidenceWithGuard(t *testing.T) {
+	// Has a guard but still faults (guard uses the wrong variable).
+	src := `__global__ void vecAdd(float *in1, float *in2, float *out, int len) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (len < 100000) {
+    out[i] = in1[i] + in2[i];
+  }
+}`
+	o := runAttempt(t, "vector-add", src)
+	if o.RuntimeError == "" {
+		t.Fatal("expected an OOB fault")
+	}
+	h := requireHint(t, Analyze(labs.ByID("vector-add"), src, o), "missing-bounds-check")
+	if h.Confidence >= 0.9 {
+		t.Errorf("guarded source should lower confidence, got %v", h.Confidence)
+	}
+}
+
+func TestDivergentSyncthreadsHint(t *testing.T) {
+	src := `__global__ void vecAdd(float *in1, float *in2, float *out, int len) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < len) {
+    __syncthreads();
+    out[i] = in1[i] + in2[i];
+  }
+}`
+	o := runAttempt(t, "vector-add", src)
+	if o.RuntimeError == "" || !strings.Contains(o.RuntimeError, "divergence") {
+		t.Fatalf("expected divergence, got %q", o.RuntimeError)
+	}
+	h := requireHint(t, Analyze(labs.ByID("vector-add"), src, o), "divergent-syncthreads")
+	if h.Confidence < 0.9 {
+		t.Errorf("confidence = %v", h.Confidence)
+	}
+}
+
+func TestTimeLimitHint(t *testing.T) {
+	src := `__global__ void vecAdd(float *in1, float *in2, float *out, int len) {
+  float x = 0.0f;
+  while (1) { x += 1.0f; }
+  out[0] = x;
+}`
+	o := runAttempt(t, "vector-add", src)
+	h := requireHint(t, Analyze(labs.ByID("vector-add"), src, o), "time-limit")
+	if !strings.Contains(h.Detail, "while (1)") {
+		t.Errorf("detail = %q", h.Detail)
+	}
+}
+
+func TestCompileHints(t *testing.T) {
+	cases := []struct {
+		src  string
+		code string
+	}{
+		{`__global__ void vecAdd(float *a, float *b, float *c, int n) { int i = blockIdx.x * blockDim.x + threadIdx.x  c[i] = 0.0f; }`,
+			"missing-semicolon"},
+		{`__global__ void vecAdd(float *a, float *b, float *c, int n) { syncthreads(); }`,
+			"undeclared-identifier"},
+		{`__global__ void vecAdd(float *a, float *b, float *c, int n) { int i = get_global_id(0); }`,
+			"wrong-dialect"},
+		{`__global__ void vecAdd(float *a, float *b, float *c, int n) { int i = threadIdx; }`,
+			"dim3-member"},
+	}
+	for _, c := range cases {
+		o := runAttempt(t, "vector-add", c.src)
+		if o.Compiled {
+			t.Fatalf("%q compiled", c.src)
+		}
+		hints := Analyze(labs.ByID("vector-add"), c.src, o)
+		requireHint(t, hints, c.code)
+		// The raw diagnostic is always included as a fallback.
+		requireHint(t, hints, "compile-error")
+	}
+}
+
+func TestSyncthreadsSpellingHint(t *testing.T) {
+	src := `__global__ void vecAdd(float *a, float *b, float *c, int n) { syncthreads(); }`
+	o := runAttempt(t, "vector-add", src)
+	h := requireHint(t, Analyze(labs.ByID("vector-add"), src, o), "undeclared-identifier")
+	if !strings.Contains(h.Detail, "__syncthreads()") {
+		t.Errorf("detail = %q", h.Detail)
+	}
+}
+
+func TestWrongAnswerBoundaryHint(t *testing.T) {
+	// Off-by-one: last element never written (stays zero).
+	src := `__global__ void vecAdd(float *in1, float *in2, float *out, int len) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < len - 1) out[i] = in1[i] + in2[i];
+  else if (i < len) out[i] = 0.0f;
+}`
+	o := runAttempt(t, "vector-add", src)
+	if o.Correct || o.RuntimeError != "" {
+		t.Fatalf("outcome = %+v", o)
+	}
+	hints := Analyze(labs.ByID("vector-add"), src, o)
+	requireHint(t, hints, "boundary-wrong")
+}
+
+func TestWrongAnswerFormulaHint(t *testing.T) {
+	src := `__global__ void vecAdd(float *in1, float *in2, float *out, int len) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < len) out[i] = in1[i] - in2[i];
+}`
+	o := runAttempt(t, "vector-add", src)
+	hints := Analyze(labs.ByID("vector-add"), src, o)
+	requireHint(t, hints, "first-element-wrong")
+}
+
+func TestMissingSyncthreadsOnSharedUse(t *testing.T) {
+	// Tiled matmul without barriers: wrong results, shared memory in use.
+	src := strings.ReplaceAll(labs.ByID("tiled-matmul").Reference, "__syncthreads();", "")
+	o := runAttempt(t, "tiled-matmul", src)
+	if o.Correct {
+		t.Skip("racy tile read happened to pass; heuristic untestable this run")
+	}
+	hints := Analyze(labs.ByID("tiled-matmul"), src, o)
+	requireHint(t, hints, "missing-syncthreads")
+}
+
+func TestCorrectGetsPositiveFeedback(t *testing.T) {
+	l := labs.ByID("vector-add")
+	o := runAttempt(t, "vector-add", l.Reference)
+	if !o.Correct {
+		t.Fatalf("reference failed: %+v", o)
+	}
+	hints := Analyze(l, l.Reference, o)
+	requireHint(t, hints, "correct")
+}
+
+func TestTilingSuggestedForNaiveTiledLabSolution(t *testing.T) {
+	// A correct but untiled solution to the tiled lab: passes datasets,
+	// gets the performance hint.
+	src := `__global__ void matrixMultiplyShared(float *A, float *B, float *C,
+                               int numARows, int numACols, int numBCols) {
+  int row = blockIdx.y * blockDim.y + threadIdx.y;
+  int col = blockIdx.x * blockDim.x + threadIdx.x;
+  if (row < numARows && col < numBCols) {
+    float acc = 0.0f;
+    for (int k = 0; k < numACols; k++)
+      acc += A[row * numACols + k] * B[k * numBCols + col];
+    C[row * numBCols + col] = acc;
+  }
+}`
+	o := runAttempt(t, "tiled-matmul", src)
+	if !o.Correct {
+		t.Fatalf("naive solution should be correct: %+v", o)
+	}
+	hints := Analyze(labs.ByID("tiled-matmul"), src, o)
+	h := requireHint(t, hints, "consider-tiling")
+	if !strings.Contains(h.Detail, "__shared__") {
+		t.Errorf("detail = %q", h.Detail)
+	}
+}
+
+func TestDivByZeroHint(t *testing.T) {
+	src := `__global__ void vecAdd(float *in1, float *in2, float *out, int len) {
+  int z = len - len;
+  out[0] = (float)(7 / z);
+}`
+	o := runAttempt(t, "vector-add", src)
+	requireHint(t, Analyze(labs.ByID("vector-add"), src, o), "div-by-zero")
+}
+
+func TestWrongKernelNameHint(t *testing.T) {
+	src := `__global__ void myVectorAdd(float *a, float *b, float *c, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) c[i] = a[i] + b[i];
+}`
+	o := runAttempt(t, "vector-add", src)
+	h := requireHint(t, Analyze(labs.ByID("vector-add"), src, o), "wrong-kernel-name")
+	if !strings.Contains(h.Detail, "skeleton") {
+		t.Errorf("detail = %q", h.Detail)
+	}
+}
+
+func TestConstWriteHint(t *testing.T) {
+	src := `__constant__ float M[5];
+__global__ void conv1d(float *in, float *out, int n) {
+  M[0] = 1.0f;
+  out[0] = in[0];
+}`
+	o := runAttempt(t, "convolution-2d", src) // lab harness rejects first on kernel name
+	_ = o
+	// Drive it via a lab whose harness launches our kernel name: use the
+	// conv lab signature instead.
+	src2 := `#define MASK_WIDTH 5
+__constant__ float M[MASK_WIDTH][MASK_WIDTH];
+__global__ void convolution2D(float *in, float *out, int height, int width) {
+  M[0][0] = 1.0f;
+  out[0] = in[0];
+}`
+	o2 := runAttempt(t, "convolution-2d", src2)
+	if o2.RuntimeError == "" {
+		t.Fatalf("write to constant memory not faulted: %+v", o2)
+	}
+	requireHint(t, Analyze(labs.ByID("convolution-2d"), src2, o2), "const-write")
+}
+
+func TestUncoalescedHint(t *testing.T) {
+	// Correct tiled-matmul-lab submission whose shared-memory staging is
+	// column-strided: correct results, shared ops present, and global
+	// loads spread across segments.
+	src := `__global__ void matrixMultiplyShared(float *A, float *B, float *C,
+                               int numARows, int numACols, int numBCols) {
+  __shared__ float stage[16];
+  int row = blockIdx.y * blockDim.y + threadIdx.y;
+  int col = blockIdx.x * blockDim.x + threadIdx.x;
+  stage[threadIdx.y] = A[0];
+  if (row < numARows && col < numBCols) {
+    float acc = 0.0f;
+    for (int k = 0; k < numACols; k++)
+      acc += A[row * numACols + k] * B[k * numBCols + col];
+    C[row * numBCols + col] = acc + 0.0f * stage[threadIdx.y];
+  }
+}`
+	o := runAttempt(t, "tiled-matmul", src)
+	if !o.Correct {
+		t.Skipf("variant not correct this run: %+v", o)
+	}
+	hints := Analyze(labs.ByID("tiled-matmul"), src, o)
+	// Either the uncoalesced or the broader performance analysis fires;
+	// the submission must not be left with zero feedback.
+	if len(hints) == 0 {
+		t.Fatal("no hints for a slow-but-correct submission")
+	}
+}
+
+func TestHintsSortedByConfidence(t *testing.T) {
+	src := `__global__ void vecAdd(float *in1, float *in2, float *out, int len) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  out[i] = in1[i] + in2[i];
+}`
+	o := runAttempt(t, "vector-add", src)
+	hints := Analyze(labs.ByID("vector-add"), src, o)
+	for i := 1; i < len(hints); i++ {
+		if hints[i].Confidence > hints[i-1].Confidence {
+			t.Fatalf("hints not sorted: %v", hintCodes(hints))
+		}
+	}
+}
+
+func TestKernelStatsPopulated(t *testing.T) {
+	l := labs.ByID("tiled-matmul")
+	o := runAttempt(t, "tiled-matmul", l.Reference)
+	if len(o.Kernels) == 0 {
+		t.Fatal("no kernel stats recorded")
+	}
+	k := o.Kernels[0]
+	if k.Name == "" || k.Threads == 0 || k.SharedOps == 0 || k.Barriers == 0 {
+		t.Errorf("stats = %+v", k)
+	}
+}

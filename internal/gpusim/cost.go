@@ -1,0 +1,127 @@
+package gpusim
+
+// Cost-model constants, in device cycles. The absolute values are loosely
+// based on Kepler-class latencies; what matters for the course labs is the
+// ratio between coalesced/uncoalesced global traffic and shared-memory
+// reuse, which is what makes tiled matrix multiply beat the basic version
+// and coalesced access beat strided access by roughly the factors students
+// observe on real hardware.
+const (
+	latGlobalTx          = 400 // one 128-byte global memory transaction
+	latSharedTx          = 4   // one conflict-free shared-memory access
+	latBarrier           = 32  // __syncthreads
+	latAtomic            = 120 // global atomic
+	latSpecial           = 16  // SFU op (sqrt, exp, ...)
+	launchOverheadCycles = 4000
+	segmentBytes         = 128 // coalescing segment
+	numBanks             = 32  // shared-memory banks
+	bankWidthBytes       = 4
+)
+
+// Memory-access events are recorded lock-free into per-thread logs and
+// aggregated once per block under the warp-synchronous approximation: the
+// k-th global (resp. shared) access of each thread in a warp is treated
+// as issuing together, so the block's transaction count is the number of
+// distinct 128-byte segments (resp. the per-bank conflict degree) among
+// each warp's k-th accesses.
+
+// gEvent is one global-memory access by one thread.
+type gEvent struct {
+	alloc        uint64
+	segLo, segHi int32
+}
+
+// sEvent is one shared-memory access by one thread.
+type sEvent struct {
+	word int32
+}
+
+type gKey struct {
+	warp  int32
+	seq   int32
+	alloc uint64
+	seg   int32
+}
+
+type sKey struct {
+	warp int32
+	seq  int32
+}
+
+// aggregateCost merges the per-thread event logs of one block into
+// transaction counts.
+func aggregateCost(ctxs []*ThreadCtx, warpSize int) (globalTx, sharedTx int64) {
+	// Global: count distinct (warp, seq, alloc, segment) tuples.
+	gSeen := make(map[gKey]struct{}, 64)
+	for _, tc := range ctxs {
+		warp := int32(tc.warp)
+		for seq, ev := range tc.gEvents {
+			for s := ev.segLo; s <= ev.segHi; s++ {
+				gSeen[gKey{warp: warp, seq: int32(seq), alloc: ev.alloc, seg: s}] = struct{}{}
+			}
+		}
+	}
+	globalTx = int64(len(gSeen))
+
+	// Shared: for each (warp, seq) find the max number of distinct words
+	// mapped to the same bank (the conflict degree; a broadcast of one
+	// word costs 1).
+	type bankWords struct {
+		words [numBanks]map[int32]struct{}
+	}
+	sAcc := make(map[sKey]*bankWords, 16)
+	for _, tc := range ctxs {
+		warp := int32(tc.warp)
+		for seq, ev := range tc.sEvents {
+			k := sKey{warp: warp, seq: int32(seq)}
+			bw, ok := sAcc[k]
+			if !ok {
+				bw = &bankWords{}
+				sAcc[k] = bw
+			}
+			bank := ev.word % numBanks
+			if bank < 0 {
+				bank += numBanks
+			}
+			if bw.words[bank] == nil {
+				bw.words[bank] = make(map[int32]struct{}, 1)
+			}
+			bw.words[bank][ev.word] = struct{}{}
+		}
+	}
+	for _, bw := range sAcc {
+		degree := 1
+		for _, words := range bw.words {
+			if len(words) > degree {
+				degree = len(words)
+			}
+		}
+		sharedTx += int64(degree)
+	}
+	return globalTx, sharedTx
+}
+
+// blockCycles estimates the cycles one block occupies its SM, assuming the
+// SM overlaps compute and memory pipelines (the slower one dominates) and
+// pays barrier and atomic latencies serially.
+func blockCycles(p DeviceProps, r blockResult) int64 {
+	cores := int64(p.CoresPerSM)
+	if cores <= 0 {
+		cores = 128
+	}
+	compute := (r.alu + r.special*latSpecial + r.branches) / cores
+	memory := r.gTx*latGlobalTx/8 + r.sTx*latSharedTx + r.cLoads/4
+	serial := r.barriers/int64(max(1, int(p.WarpSize)))*latBarrier + r.atomics*latAtomic/4
+	busy := compute
+	if memory > busy {
+		busy = memory
+	}
+	return busy + serial + 200 // fixed block-dispatch overhead
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

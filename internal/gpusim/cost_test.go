@@ -1,0 +1,275 @@
+package gpusim
+
+import "testing"
+
+// The cost model must preserve the performance relationships the course
+// teaches: coalesced beats strided global access, and shared-memory tiling
+// beats repeated global loads.
+
+func TestCoalescedBeatsStrided(t *testing.T) {
+	d := NewDefaultDevice()
+	n := 32 * 64
+	in, _ := d.Malloc(n * 4)
+	out, _ := d.Malloc(n * 4)
+	cfg := LaunchConfig{Grid: D1(n / 256), Block: D1(256)}
+
+	coalesced, err := d.Launch("coalesced", cfg, func(tc *ThreadCtx) error {
+		i := tc.GlobalThreadID()
+		v, err := tc.LoadFloat32(in, i)
+		if err != nil {
+			return err
+		}
+		return tc.StoreFloat32(out, i, v)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stride-32 access: each warp touches 32 distinct 128B segments.
+	strided, err := d.Launch("strided", cfg, func(tc *ThreadCtx) error {
+		i := tc.GlobalThreadID()
+		j := (i*32 + i/(n/32)) % n
+		v, err := tc.LoadFloat32(in, j)
+		if err != nil {
+			return err
+		}
+		return tc.StoreFloat32(out, j, v)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if coalesced.GlobalTx >= strided.GlobalTx {
+		t.Errorf("coalesced tx %d >= strided tx %d", coalesced.GlobalTx, strided.GlobalTx)
+	}
+	if coalesced.SimCycles >= strided.SimCycles {
+		t.Errorf("coalesced cycles %d >= strided cycles %d", coalesced.SimCycles, strided.SimCycles)
+	}
+	// The factor should be large: a fully-strided warp makes ~32x the
+	// transactions of a coalesced one.
+	if strided.GlobalTx < 8*coalesced.GlobalTx {
+		t.Errorf("strided/coalesced tx ratio = %.1f, want >= 8",
+			float64(strided.GlobalTx)/float64(coalesced.GlobalTx))
+	}
+}
+
+func matMulNaive(d *Device, a, b, c Ptr, n int) (*LaunchStats, error) {
+	cfg := LaunchConfig{Grid: D2((n+15)/16, (n+15)/16), Block: D2(16, 16)}
+	return d.Launch("mmNaive", cfg, func(tc *ThreadCtx) error {
+		col := tc.BlockIdx.X*tc.BlockDim.X + tc.ThreadIdx.X
+		row := tc.BlockIdx.Y*tc.BlockDim.Y + tc.ThreadIdx.Y
+		if row >= n || col >= n {
+			return nil
+		}
+		var sum float32
+		for k := 0; k < n; k++ {
+			av, err := tc.LoadFloat32(a, row*n+k)
+			if err != nil {
+				return err
+			}
+			bv, err := tc.LoadFloat32(b, k*n+col)
+			if err != nil {
+				return err
+			}
+			sum += av * bv
+			tc.CountALU(2)
+		}
+		return tc.StoreFloat32(c, row*n+col, sum)
+	})
+}
+
+func matMulTiled(d *Device, a, b, c Ptr, n, tile int) (*LaunchStats, error) {
+	cfg := LaunchConfig{
+		Grid:           D2((n+tile-1)/tile, (n+tile-1)/tile),
+		Block:          D2(tile, tile),
+		SharedMemBytes: 2 * tile * tile * 4,
+	}
+	return d.Launch("mmTiled", cfg, func(tc *ThreadCtx) error {
+		tx, ty := tc.ThreadIdx.X, tc.ThreadIdx.Y
+		col := tc.BlockIdx.X*tile + tx
+		row := tc.BlockIdx.Y*tile + ty
+		var sum float32
+		tiles := (n + tile - 1) / tile
+		for m := 0; m < tiles; m++ {
+			var av, bv float32
+			if row < n && m*tile+tx < n {
+				v, err := tc.LoadFloat32(a, row*n+m*tile+tx)
+				if err != nil {
+					return err
+				}
+				av = v
+			}
+			if col < n && m*tile+ty < n {
+				v, err := tc.LoadFloat32(b, (m*tile+ty)*n+col)
+				if err != nil {
+					return err
+				}
+				bv = v
+			}
+			if err := tc.SharedStoreFloat32(ty*tile+tx, av); err != nil {
+				return err
+			}
+			if err := tc.SharedStoreFloat32(tile*tile+ty*tile+tx, bv); err != nil {
+				return err
+			}
+			if err := tc.SyncThreads(); err != nil {
+				return err
+			}
+			for k := 0; k < tile; k++ {
+				x, _ := tc.SharedLoadFloat32(ty*tile + k)
+				y, _ := tc.SharedLoadFloat32(tile*tile + k*tile + tx)
+				sum += x * y
+				tc.CountALU(2)
+			}
+			if err := tc.SyncThreads(); err != nil {
+				return err
+			}
+		}
+		if row < n && col < n {
+			return tc.StoreFloat32(c, row*n+col, sum)
+		}
+		return nil
+	})
+}
+
+func TestTiledMatMulBeatsNaive(t *testing.T) {
+	d := NewDefaultDevice()
+	n := 64
+	av := make([]float32, n*n)
+	bv := make([]float32, n*n)
+	for i := range av {
+		av[i] = float32(i%5) * 0.5
+		bv[i] = float32(i%3) - 1
+	}
+	a, _ := d.MallocFloat32(n*n, av)
+	b, _ := d.MallocFloat32(n*n, bv)
+	c1, _ := d.Malloc(n * n * 4)
+	c2, _ := d.Malloc(n * n * 4)
+
+	naive, err := matMulNaive(d, a, b, c1, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiled, err := matMulTiled(d, a, b, c2, n, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r1, _ := d.ReadFloat32(c1, n*n)
+	r2, _ := d.ReadFloat32(c2, n*n)
+	for i := range r1 {
+		diff := r1[i] - r2[i]
+		if diff < -1e-3 || diff > 1e-3 {
+			t.Fatalf("results differ at %d: %v vs %v", i, r1[i], r2[i])
+		}
+	}
+
+	if tiled.GlobalTx >= naive.GlobalTx {
+		t.Errorf("tiled tx %d >= naive tx %d", tiled.GlobalTx, naive.GlobalTx)
+	}
+	if tiled.SimCycles >= naive.SimCycles {
+		t.Errorf("tiled cycles %d >= naive cycles %d", tiled.SimCycles, naive.SimCycles)
+	}
+	t.Logf("naive: tx=%d cycles=%d; tiled: tx=%d cycles=%d (%.1fx)",
+		naive.GlobalTx, naive.SimCycles, tiled.GlobalTx, tiled.SimCycles,
+		float64(naive.SimCycles)/float64(tiled.SimCycles))
+}
+
+func TestBankConflictCounted(t *testing.T) {
+	d := NewDefaultDevice()
+	cfg := LaunchConfig{Grid: D1(1), Block: D1(32), SharedMemBytes: 32 * 32 * 4}
+
+	noConflict, err := d.Launch("noConflict", cfg, func(tc *ThreadCtx) error {
+		return tc.SharedStoreFloat32(tc.ThreadIdx.X, 1) // one word per bank
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conflict, err := d.Launch("conflict", cfg, func(tc *ThreadCtx) error {
+		return tc.SharedStoreFloat32(tc.ThreadIdx.X*32, 1) // all in bank 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noConflict.SharedTx >= conflict.SharedTx {
+		t.Errorf("no-conflict tx %d >= conflict tx %d", noConflict.SharedTx, conflict.SharedTx)
+	}
+	if conflict.SharedTx != 32 {
+		t.Errorf("32-way conflict tx = %d, want 32", conflict.SharedTx)
+	}
+	if noConflict.SharedTx != 1 {
+		t.Errorf("conflict-free tx = %d, want 1", noConflict.SharedTx)
+	}
+}
+
+func TestBroadcastIsNotConflict(t *testing.T) {
+	d := NewDefaultDevice()
+	cfg := LaunchConfig{Grid: D1(1), Block: D1(32), SharedMemBytes: 4}
+	s, err := d.Launch("broadcast", cfg, func(tc *ThreadCtx) error {
+		_, err := tc.SharedLoadFloat32(0) // every thread reads the same word
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SharedTx != 1 {
+		t.Errorf("broadcast tx = %d, want 1", s.SharedTx)
+	}
+}
+
+// The cost model must be deterministic: identical launches report
+// identical counters and simulated cycles regardless of host scheduling.
+func TestCostModelDeterministic(t *testing.T) {
+	run := func() *LaunchStats {
+		d := NewDefaultDevice()
+		n := 64
+		a, _ := d.Malloc(n * n * 4)
+		b, _ := d.Malloc(n * n * 4)
+		c, _ := d.Malloc(n * n * 4)
+		s, err := matMulTiled(d, a, b, c, n, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	first := run()
+	for i := 0; i < 3; i++ {
+		s := run()
+		if s.SimCycles != first.SimCycles || s.GlobalTx != first.GlobalTx ||
+			s.SharedTx != first.SharedTx || s.ALUOps != first.ALUOps ||
+			s.Barriers != first.Barriers {
+			t.Fatalf("run %d differs: %+v vs %+v", i, s, first)
+		}
+	}
+}
+
+func TestMoreSMsFaster(t *testing.T) {
+	mk := func(sms int) *LaunchStats {
+		props := DefaultProps()
+		props.MultiprocessorCount = sms
+		d := NewDevice(props)
+		n := 1 << 14
+		in, _ := d.Malloc(n * 4)
+		out, _ := d.Malloc(n * 4)
+		cfg := LaunchConfig{Grid: D1(n / 256), Block: D1(256)}
+		s, err := d.Launch("copy", cfg, func(tc *ThreadCtx) error {
+			i := tc.GlobalThreadID()
+			v, err := tc.LoadFloat32(in, i)
+			if err != nil {
+				return err
+			}
+			tc.CountALU(64)
+			return tc.StoreFloat32(out, i, v)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	one := mk(1)
+	eight := mk(8)
+	if eight.SimCycles >= one.SimCycles {
+		t.Errorf("8 SMs (%d cycles) not faster than 1 SM (%d cycles)",
+			eight.SimCycles, one.SimCycles)
+	}
+}

@@ -1,0 +1,91 @@
+package gpusim
+
+import "math"
+
+// Host-side typed conversion helpers between Go slices and the raw byte
+// representation the device stores (little-endian, matching CUDA's memory
+// layout for float/int on x86 hosts).
+
+// Float32Bytes encodes a []float32 as device bytes.
+func Float32Bytes(xs []float32) []byte {
+	b := make([]byte, 4*len(xs))
+	for i, x := range xs {
+		putLeU32(b[i*4:], math.Float32bits(x))
+	}
+	return b
+}
+
+// BytesFloat32 decodes device bytes into a []float32.
+func BytesFloat32(b []byte) []float32 {
+	xs := make([]float32, len(b)/4)
+	for i := range xs {
+		xs[i] = math.Float32frombits(leU32(b[i*4:]))
+	}
+	return xs
+}
+
+// Int32Bytes encodes a []int32 as device bytes.
+func Int32Bytes(xs []int32) []byte {
+	b := make([]byte, 4*len(xs))
+	for i, x := range xs {
+		putLeU32(b[i*4:], uint32(x))
+	}
+	return b
+}
+
+// BytesInt32 decodes device bytes into a []int32.
+func BytesInt32(b []byte) []int32 {
+	xs := make([]int32, len(b)/4)
+	for i := range xs {
+		xs[i] = int32(leU32(b[i*4:]))
+	}
+	return xs
+}
+
+// MallocFloat32 allocates device memory for n float32 elements and copies
+// src (which may be shorter than n) into it.
+func (d *Device) MallocFloat32(n int, src []float32) (Ptr, error) {
+	p, err := d.Malloc(n * 4)
+	if err != nil {
+		return Ptr{}, err
+	}
+	if len(src) > 0 {
+		if err := d.MemcpyHtoD(p, Float32Bytes(src)); err != nil {
+			return Ptr{}, err
+		}
+	}
+	return p, nil
+}
+
+// MallocInt32 allocates device memory for n int32 elements and copies src
+// into it.
+func (d *Device) MallocInt32(n int, src []int32) (Ptr, error) {
+	p, err := d.Malloc(n * 4)
+	if err != nil {
+		return Ptr{}, err
+	}
+	if len(src) > 0 {
+		if err := d.MemcpyHtoD(p, Int32Bytes(src)); err != nil {
+			return Ptr{}, err
+		}
+	}
+	return p, nil
+}
+
+// ReadFloat32 copies n float32 elements from device memory to the host.
+func (d *Device) ReadFloat32(p Ptr, n int) ([]float32, error) {
+	b := make([]byte, n*4)
+	if err := d.MemcpyDtoH(b, p); err != nil {
+		return nil, err
+	}
+	return BytesFloat32(b), nil
+}
+
+// ReadInt32 copies n int32 elements from device memory to the host.
+func (d *Device) ReadInt32(p Ptr, n int) ([]int32, error) {
+	b := make([]byte, n*4)
+	if err := d.MemcpyDtoH(b, p); err != nil {
+		return nil, err
+	}
+	return BytesInt32(b), nil
+}

@@ -1,0 +1,163 @@
+package grader
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"webgpu/internal/labs"
+)
+
+func runReference(t *testing.T, labID string) (*labs.Lab, []*labs.Outcome) {
+	t.Helper()
+	l := labs.ByID(labID)
+	devs := labs.NewDeviceSet(1)
+	if l.NumGPUs > 1 {
+		devs = labs.NewDeviceSet(l.NumGPUs)
+	}
+	return l, labs.RunAll(l, l.Reference, devs, 0)
+}
+
+func TestScoreFullMarks(t *testing.T) {
+	l, outs := runReference(t, "vector-add")
+	g := Score(l, l.Reference, outs, len(l.Questions))
+	if g.Total != g.Max {
+		t.Fatalf("reference scored %d of %d: %+v", g.Total, g.Max, g)
+	}
+	if g.Compile != l.Rubric.CompilePoints {
+		t.Errorf("compile = %d", g.Compile)
+	}
+	for i, pass := range g.DatasetPass {
+		if !pass {
+			t.Errorf("dataset %d failed", i)
+		}
+	}
+}
+
+func TestScorePartial(t *testing.T) {
+	l := labs.ByID("vector-add")
+	// A wrong answer compiles and runs but fails every dataset.
+	src := `__global__ void vecAdd(float *in1, float *in2, float *out, int len) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < len) out[i] = in1[i] - in2[i];
+}`
+	outs := labs.RunAll(l, src, labs.NewDeviceSet(1), 0)
+	g := Score(l, src, outs, 1)
+	if g.Datasets != 0 {
+		t.Errorf("dataset points = %d", g.Datasets)
+	}
+	if g.Compile != l.Rubric.CompilePoints {
+		t.Errorf("compile points = %d", g.Compile)
+	}
+	if g.Questions != l.Rubric.QuestionPoints {
+		t.Errorf("question points = %d", g.Questions)
+	}
+	if g.Total >= g.Max {
+		t.Errorf("partial credit %d >= max %d", g.Total, g.Max)
+	}
+}
+
+func TestScoreCompileFailure(t *testing.T) {
+	l := labs.ByID("vector-add")
+	outs := labs.RunAll(l, "__global__ void vecAdd(", labs.NewDeviceSet(1), 0)
+	g := Score(l, "__global__ void vecAdd(", outs, 0)
+	if g.Compile != 0 || g.Datasets != 0 {
+		t.Errorf("broken source earned compile=%d datasets=%d", g.Compile, g.Datasets)
+	}
+}
+
+func TestScoreQuestionClamping(t *testing.T) {
+	l, outs := runReference(t, "vector-add")
+	over := Score(l, l.Reference, outs, 99)
+	exact := Score(l, l.Reference, outs, len(l.Questions))
+	if over.Questions != exact.Questions {
+		t.Errorf("question points not clamped: %d vs %d", over.Questions, exact.Questions)
+	}
+	neg := Score(l, l.Reference, outs, -5)
+	if neg.Questions != 0 {
+		t.Errorf("negative answers earned %d", neg.Questions)
+	}
+}
+
+func TestScoreMonotoneInDatasets(t *testing.T) {
+	// Property: passing more datasets never lowers the total.
+	l, outs := runReference(t, "scatter-to-gather")
+	prevTotal := -1
+	for k := 0; k <= len(outs); k++ {
+		subset := make([]*labs.Outcome, len(outs))
+		for i := range outs {
+			cp := *outs[i]
+			if i >= k {
+				cp.Correct = false
+			}
+			subset[i] = &cp
+		}
+		g := Score(l, l.Reference, subset, 0)
+		if g.Total < prevTotal {
+			t.Fatalf("total decreased at k=%d: %d < %d", k, g.Total, prevTotal)
+		}
+		prevTotal = g.Total
+	}
+}
+
+func TestOverride(t *testing.T) {
+	l, outs := runReference(t, "vector-add")
+	g := Score(l, l.Reference, outs, 0)
+	Override(g, "prof-hwu", 100, "regraded after appeal")
+	if !g.Overridden || g.Total != 100 || g.OverrideBy != "prof-hwu" {
+		t.Errorf("override: %+v", g)
+	}
+}
+
+func TestCourseraBook(t *testing.T) {
+	b := NewCourseraBook("hpp-2015")
+	g := &Grade{UserID: "u1", LabID: "vector-add", Total: 80, Max: 100}
+	if err := b.Record(g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Lookup("u1", "vector-add")
+	if err != nil || got.Total != 80 {
+		t.Fatalf("lookup = %+v, %v", got, err)
+	}
+	// Re-record replaces (regrade).
+	g.Total = 95
+	_ = b.Record(g)
+	got, _ = b.Lookup("u1", "vector-add")
+	if got.Total != 95 {
+		t.Errorf("regrade total = %d", got.Total)
+	}
+	if b.Writes() != 2 {
+		t.Errorf("writes = %d", b.Writes())
+	}
+	if _, err := b.Lookup("u2", "vector-add"); !errors.Is(err, ErrNoSuchGrade) {
+		t.Errorf("missing lookup = %v", err)
+	}
+	if err := b.Record(&Grade{}); err == nil {
+		t.Error("empty grade recorded")
+	}
+}
+
+func TestExportCSV(t *testing.T) {
+	b := NewCourseraBook("hpp")
+	_ = b.Record(&Grade{UserID: "u2", LabID: "l1", Total: 50, Max: 100})
+	_ = b.Record(&Grade{UserID: "u1", LabID: "l1", Total: 70, Max: 100})
+	out := b.Export()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 || lines[0] != "user,lab,total,max" {
+		t.Fatalf("export = %q", out)
+	}
+	if !strings.HasPrefix(lines[1], "u1,") || !strings.HasPrefix(lines[2], "u2,") {
+		t.Errorf("export not sorted: %q", out)
+	}
+}
+
+func TestLookupReturnsCopy(t *testing.T) {
+	b := NewCourseraBook("hpp")
+	_ = b.Record(&Grade{UserID: "u1", LabID: "l1", Total: 10, Max: 100})
+	got, _ := b.Lookup("u1", "l1")
+	got.Total = 999
+	again, _ := b.Lookup("u1", "l1")
+	if again.Total != 10 {
+		t.Error("lookup leaked internal state")
+	}
+}

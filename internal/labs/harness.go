@@ -1,0 +1,113 @@
+package labs
+
+import (
+	"fmt"
+
+	"webgpu/internal/gpusim"
+	"webgpu/internal/minicuda"
+	"webgpu/internal/wb"
+)
+
+// Common harness plumbing shared by the lab drivers. Each helper mirrors a
+// stretch of the libwb main() the paper's labs wrap around student code:
+// import data, allocate GPU memory, copy, launch, copy back, check.
+
+// ceilDiv is the grid-sizing helper every lab uses.
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// loadVectorInput parses a named float-vector input of the dataset.
+func loadVectorInput(rc *RunContext, name string) ([]float32, error) {
+	data := rc.Dataset.Input(name)
+	if data == nil {
+		return nil, fmt.Errorf("labs: dataset %q missing input %s", rc.Dataset.Name, name)
+	}
+	return wb.ParseVector(data)
+}
+
+// loadMatrixInput parses a named float-matrix input of the dataset.
+func loadMatrixInput(rc *RunContext, name string) ([]float32, int, int, error) {
+	data := rc.Dataset.Input(name)
+	if data == nil {
+		return nil, 0, 0, fmt.Errorf("labs: dataset %q missing input %s", rc.Dataset.Name, name)
+	}
+	return wb.ParseMatrix(data)
+}
+
+// expectedVector parses the dataset's expected float-vector output.
+func expectedVector(rc *RunContext) ([]float32, error) {
+	return wb.ParseVector(rc.Dataset.Expected.Data)
+}
+
+// toDevice allocates and fills a float buffer on the primary GPU, timing
+// the copy as the labs' wbTime(Copy) does.
+func toDevice(rc *RunContext, xs []float32) (gpusim.Ptr, error) {
+	rc.Trace.Start(wb.TimeCopy, "Copying input memory to the GPU")
+	defer rc.Trace.Stop(wb.TimeCopy, "Copying input memory to the GPU")
+	return rc.Dev().MallocFloat32(len(xs), xs)
+}
+
+// launch runs a kernel on the primary device and records its simulated
+// time under the Compute timer.
+func launch(rc *RunContext, kernel string, grid, block gpusim.Dim3, args ...minicuda.Arg) error {
+	stats, err := rc.Program.Launch(rc.Dev(), kernel, rc.Opts(grid, block), args...)
+	if stats != nil {
+		rc.Trace.RecordSpan(wb.TimeCompute, "Performing CUDA computation ("+kernel+")", stats.SimTime)
+	}
+	if err != nil {
+		return fmt.Errorf("kernel %s: %w", kernel, err)
+	}
+	return nil
+}
+
+// readBack copies a float result off the device under the Copy timer.
+func readBack(rc *RunContext, p gpusim.Ptr, n int) ([]float32, error) {
+	rc.Trace.Start(wb.TimeCopy, "Copying output memory to the CPU")
+	defer rc.Trace.Stop(wb.TimeCopy, "Copying output memory to the CPU")
+	return rc.Dev().ReadFloat32(p, n)
+}
+
+// requireKernel verifies the student's program defines the kernel the
+// harness will launch, producing the diagnostic the course staff's
+// harnesses print.
+func requireKernel(rc *RunContext, name string) error {
+	if rc.Program.Kernel(name) == nil {
+		return fmt.Errorf("labs: solution must define a __global__ kernel named %q (found %v)",
+			name, rc.Program.Kernels())
+	}
+	return nil
+}
+
+// vectorMapHarness builds a harness for the common one-input-vector,
+// one-output-vector shape given the kernel name and a launcher callback.
+func vectorMapHarness(kernel string, run func(rc *RunContext, in gpusim.Ptr, n int, out gpusim.Ptr) error) Harness {
+	return func(rc *RunContext) (wb.CheckResult, error) {
+		if err := requireKernel(rc, kernel); err != nil {
+			return wb.CheckResult{}, err
+		}
+		in, err := loadVectorInput(rc, "input0.raw")
+		if err != nil {
+			return wb.CheckResult{}, err
+		}
+		rc.Trace.Logf(wb.LevelTrace, "The input length is %d", len(in))
+		inP, err := toDevice(rc, in)
+		if err != nil {
+			return wb.CheckResult{}, err
+		}
+		outP, err := rc.Dev().Malloc(len(in) * 4)
+		if err != nil {
+			return wb.CheckResult{}, err
+		}
+		if err := run(rc, inP, len(in), outP); err != nil {
+			return wb.CheckResult{}, err
+		}
+		got, err := readBack(rc, outP, len(in))
+		if err != nil {
+			return wb.CheckResult{}, err
+		}
+		want, err := expectedVector(rc)
+		if err != nil {
+			return wb.CheckResult{}, err
+		}
+		return wb.CompareFloats(got, want, wb.DefaultTolerance), nil
+	}
+}

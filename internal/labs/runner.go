@@ -1,0 +1,175 @@
+package labs
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"webgpu/internal/gpusim"
+	"webgpu/internal/minicuda"
+	"webgpu/internal/wb"
+)
+
+// Outcome is the result of running one submission against one dataset —
+// the payload a worker node returns to the web tier (§III-C).
+type Outcome struct {
+	LabID        string
+	DatasetID    int
+	Compiled     bool
+	CompileError string
+	Ran          bool
+	RuntimeError string
+	Correct      bool
+	CheckMessage string
+	Trace        string
+	SimTime      time.Duration // simulated GPU time across launches
+	WallTime     time.Duration
+	Kernels      []KernelStats // per-launch performance counters
+}
+
+// KernelStats summarizes one kernel launch for the feedback analyzer and
+// the Attempts view's performance read-out.
+type KernelStats struct {
+	Name         string
+	Blocks       int
+	Threads      int
+	GlobalLoads  int64
+	GlobalStores int64
+	GlobalTx     int64
+	SharedOps    int64
+	SharedTx     int64
+	Atomics      int64
+	Barriers     int64
+	SimCycles    int64
+}
+
+// CompileOnly compiles a submission without running it (the "Compile"
+// button of the code view, §IV-A action 2).
+func CompileOnly(l *Lab, source string) *Outcome {
+	o := &Outcome{LabID: l.ID, DatasetID: -1}
+	start := time.Now()
+	_, err := minicuda.Compile(source, l.Dialect)
+	o.WallTime = time.Since(start)
+	if err != nil {
+		o.CompileError = err.Error()
+		return o
+	}
+	o.Compiled = true
+	return o
+}
+
+// Run compiles the submission and executes the lab harness against the
+// identified dataset on the given devices. maxSteps bounds per-thread
+// execution (0 uses the platform default), implementing the per-lab time
+// limits of §III-C.
+func Run(l *Lab, source string, datasetID int, devices []*gpusim.Device, maxSteps int64) *Outcome {
+	o := &Outcome{LabID: l.ID, DatasetID: datasetID}
+	start := time.Now()
+	defer func() { o.WallTime = time.Since(start) }()
+
+	prog, err := minicuda.Compile(source, l.Dialect)
+	if err != nil {
+		o.CompileError = err.Error()
+		return o
+	}
+	o.Compiled = true
+
+	if datasetID < 0 || datasetID >= l.NumDatasets {
+		o.RuntimeError = fmt.Sprintf("labs: dataset %d out of range [0,%d)", datasetID, l.NumDatasets)
+		return o
+	}
+	ds, err := l.Generate(datasetID)
+	if err != nil {
+		o.RuntimeError = err.Error()
+		return o
+	}
+	if len(devices) == 0 {
+		o.RuntimeError = "labs: no GPU available"
+		return o
+	}
+	need := l.NumGPUs
+	if need == 0 {
+		need = 1
+	}
+	if len(devices) < need {
+		o.RuntimeError = fmt.Sprintf("labs: lab needs %d GPUs, worker has %d", need, len(devices))
+		return o
+	}
+
+	trace := wb.NewTrace()
+	rc := &RunContext{Devices: devices[:need], Program: prog, Dataset: ds,
+		Trace: trace, MaxSteps: maxSteps}
+
+	before := make([]int, len(rc.Devices))
+	for i, d := range rc.Devices {
+		before[i] = d.LaunchCount()
+	}
+
+	check, err := l.Harness(rc)
+	o.Trace = trace.String()
+	for i, d := range rc.Devices {
+		for _, s := range d.Launches()[before[i]:] {
+			o.SimTime += s.SimTime
+			o.Kernels = append(o.Kernels, KernelStats{
+				Name:         s.Name,
+				Blocks:       s.Blocks,
+				Threads:      s.Threads,
+				GlobalLoads:  s.GlobalLoads,
+				GlobalStores: s.GlobalStores,
+				GlobalTx:     s.GlobalTx,
+				SharedOps:    s.SharedOps,
+				SharedTx:     s.SharedTx,
+				Atomics:      s.Atomics,
+				Barriers:     s.Barriers,
+				SimCycles:    s.SimCycles,
+			})
+		}
+		d.Reset() // free the job's allocations, as the container teardown does
+	}
+	if err != nil {
+		o.RuntimeError = err.Error()
+		return o
+	}
+	o.Ran = true
+	o.Correct = check.Correct
+	o.CheckMessage = check.Message
+	return o
+}
+
+// RunAll runs a submission against every dataset of the lab, as the final
+// "Submit for grading" action does (§IV-A action 5).
+func RunAll(l *Lab, source string, devices []*gpusim.Device, maxSteps int64) []*Outcome {
+	outs := make([]*Outcome, l.NumDatasets)
+	for i := 0; i < l.NumDatasets; i++ {
+		outs[i] = Run(l, source, i, devices, maxSteps)
+	}
+	return outs
+}
+
+// KeywordsPresent reports which rubric keywords appear in the source,
+// outside of comments (the preprocessed text is scanned, so commented-out
+// keywords do not count — the same distinction §III-D draws for the
+// security blacklist).
+func KeywordsPresent(l *Lab, source string) []string {
+	clean, err := minicuda.Preprocess(minicuda.StripComments(source))
+	if err != nil {
+		clean = minicuda.StripComments(source)
+	}
+	var present []string
+	for _, kw := range l.Rubric.Keywords {
+		if strings.Contains(clean, kw) {
+			present = append(present, kw)
+		}
+	}
+	return present
+}
+
+// NewDeviceSet builds the simulated GPUs a worker exposes to lab runs.
+func NewDeviceSet(n int) []*gpusim.Device {
+	devs := make([]*gpusim.Device, n)
+	for i := range devs {
+		devs[i] = gpusim.NewDefaultDevice()
+		devs[i].SetIndex(i)
+	}
+	return devs
+}

@@ -1,0 +1,111 @@
+package markdown
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHeadings(t *testing.T) {
+	got := Render("# Title\n## Sub\n")
+	if !strings.Contains(got, "<h1>Title</h1>") || !strings.Contains(got, "<h2>Sub</h2>") {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestParagraphJoining(t *testing.T) {
+	got := Render("line one\nline two\n\nnext para")
+	if !strings.Contains(got, "<p>line one line two</p>") {
+		t.Errorf("got %q", got)
+	}
+	if strings.Count(got, "<p>") != 2 {
+		t.Errorf("paragraph count wrong: %q", got)
+	}
+}
+
+func TestCodeFence(t *testing.T) {
+	got := Render("```c\nint x = a < b;\n```\n")
+	if !strings.Contains(got, `<pre><code class="language-c">`) {
+		t.Errorf("got %q", got)
+	}
+	if !strings.Contains(got, "a &lt; b") {
+		t.Errorf("code not escaped: %q", got)
+	}
+}
+
+func TestUnterminatedFence(t *testing.T) {
+	got := Render("```\ncode here")
+	if !strings.Contains(got, "code here") {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestInlineSpans(t *testing.T) {
+	got := Render("use `vecAdd` with **bold** and *italic* and [a link](http://x.test/page)")
+	for _, want := range []string{
+		"<code>vecAdd</code>", "<strong>bold</strong>", "<em>italic</em>",
+		`<a href="http://x.test/page">a link</a>`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q in %q", want, got)
+		}
+	}
+}
+
+func TestImages(t *testing.T) {
+	got := Render("![tile diagram](img/tile.png)")
+	if !strings.Contains(got, `<img src="img/tile.png" alt="tile diagram">`) {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestLists(t *testing.T) {
+	got := Render("* one\n* two\n\n1. first\n2. second\n")
+	if !strings.Contains(got, "<ul>") || strings.Count(got, "<li>") != 4 {
+		t.Errorf("got %q", got)
+	}
+	if !strings.Contains(got, "<ol>") {
+		t.Errorf("ordered list missing: %q", got)
+	}
+}
+
+func TestBlockquote(t *testing.T) {
+	got := Render("> remember __syncthreads\n> applies to all threads")
+	if !strings.Contains(got, "<blockquote>") {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestRawHTMLEscaped(t *testing.T) {
+	got := Render("<script>alert(1)</script>")
+	if strings.Contains(got, "<script>") {
+		t.Fatalf("raw html passed through: %q", got)
+	}
+	if !strings.Contains(got, "&lt;script&gt;") {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestLabDescriptionRenders(t *testing.T) {
+	src := `# Vector Addition
+
+Implement a kernel.
+
+## Objectives
+
+* learn indexing
+* guard bounds
+
+` + "```c\n__global__ void vecAdd();\n```"
+	got := Render(src)
+	for _, want := range []string{"<h1>", "<h2>", "<ul>", "<pre><code"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	if got := Render(""); got != "" {
+		t.Errorf("empty input → %q", got)
+	}
+}

@@ -1,0 +1,179 @@
+// Package metrics provides the counters, gauges, and histograms the v2
+// worker nodes report to the replicated database, and the dashboard
+// snapshot the system administrators watch (§VI-A: "An information
+// dashboard is available to the system administrators to track the system
+// status").
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Registry holds named metrics. The zero value is not usable; call
+// NewRegistry.
+type Registry struct {
+	mu     sync.Mutex
+	counts map[string]float64
+	gauges map[string]float64
+	hists  map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counts: map[string]float64{},
+		gauges: map[string]float64{},
+		hists:  map[string]*Histogram{},
+	}
+}
+
+// Inc adds delta to a counter.
+func (r *Registry) Inc(name string, delta float64) {
+	r.mu.Lock()
+	r.counts[name] += delta
+	r.mu.Unlock()
+}
+
+// Set assigns a gauge.
+func (r *Registry) Set(name string, v float64) {
+	r.mu.Lock()
+	r.gauges[name] = v
+	r.mu.Unlock()
+}
+
+// Observe records a histogram sample.
+func (r *Registry) Observe(name string, v float64) {
+	r.mu.Lock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram()
+		r.hists[name] = h
+	}
+	r.mu.Unlock()
+	h.Observe(v)
+}
+
+// ObserveDuration records a duration sample in milliseconds.
+func (r *Registry) ObserveDuration(name string, d time.Duration) {
+	r.Observe(name, float64(d)/float64(time.Millisecond))
+}
+
+// Counter reads a counter.
+func (r *Registry) Counter(name string) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counts[name]
+}
+
+// Gauge reads a gauge.
+func (r *Registry) Gauge(name string) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gauges[name]
+}
+
+// Hist returns the named histogram, or nil.
+func (r *Registry) Hist(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.hists[name]
+}
+
+// Snapshot renders all metrics as sorted "name value" lines — the
+// dashboard text view.
+func (r *Registry) Snapshot() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var lines []string
+	for k, v := range r.counts {
+		lines = append(lines, fmt.Sprintf("counter %s %g", k, v))
+	}
+	for k, v := range r.gauges {
+		lines = append(lines, fmt.Sprintf("gauge %s %g", k, v))
+	}
+	for k, h := range r.hists {
+		lines = append(lines, fmt.Sprintf("hist %s count=%d p50=%.2f p95=%.2f p99=%.2f max=%.2f",
+			k, h.Count(), h.Quantile(0.5), h.Quantile(0.95), h.Quantile(0.99), h.Max()))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// Histogram is a simple sample-retaining histogram with reservoir capping.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []float64
+	count   int64
+	sum     float64
+	max     float64
+}
+
+const histCap = 4096
+
+// NewHistogram creates an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records a sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	if len(h.samples) < histCap {
+		h.samples = append(h.samples, v)
+	} else {
+		// Deterministic reservoir: overwrite in a rolling fashion.
+		h.samples[int(h.count)%histCap] = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the sample mean.
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Quantile returns the q-quantile (0..1) of the retained samples.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), h.samples...)
+	sort.Float64s(s)
+	idx := int(math.Ceil(q*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}

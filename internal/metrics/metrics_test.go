@@ -1,0 +1,114 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCountersAndGauges(t *testing.T) {
+	r := NewRegistry()
+	r.Inc("jobs", 1)
+	r.Inc("jobs", 2)
+	r.Set("workers", 5)
+	r.Set("workers", 3)
+	if got := r.Counter("jobs"); got != 3 {
+		t.Errorf("counter = %v", got)
+	}
+	if got := r.Gauge("workers"); got != 3 {
+		t.Errorf("gauge = %v", got)
+	}
+	if got := r.Counter("missing"); got != 0 {
+		t.Errorf("missing counter = %v", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Count() != 100 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if got := h.Quantile(0.5); got < 45 || got > 55 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := h.Quantile(0.95); got < 90 || got > 100 {
+		t.Errorf("p95 = %v", got)
+	}
+	if h.Max() != 100 {
+		t.Errorf("max = %v", h.Max())
+	}
+	if got := h.Mean(); got < 50 || got > 51 {
+		t.Errorf("mean = %v", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Error("empty histogram not zero")
+	}
+}
+
+func TestHistogramReservoirCap(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 3*histCap; i++ {
+		h.Observe(1)
+	}
+	if h.Count() != int64(3*histCap) {
+		t.Errorf("count = %d", h.Count())
+	}
+	if h.Quantile(0.99) != 1 {
+		t.Errorf("quantile = %v", h.Quantile(0.99))
+	}
+}
+
+func TestObserveDuration(t *testing.T) {
+	r := NewRegistry()
+	r.ObserveDuration("latency", 250*time.Millisecond)
+	if got := r.Hist("latency").Max(); got != 250 {
+		t.Errorf("latency ms = %v", got)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Inc("a_jobs", 2)
+	r.Set("b_gauge", 7)
+	r.Observe("c_hist", 1.5)
+	snap := r.Snapshot()
+	for _, want := range []string{"counter a_jobs 2", "gauge b_gauge 7", "hist c_hist count=1"} {
+		if !strings.Contains(snap, want) {
+			t.Errorf("snapshot missing %q:\n%s", want, snap)
+		}
+	}
+	// Sorted output is deterministic.
+	if r.Snapshot() != snap {
+		t.Error("snapshot not deterministic")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Inc("n", 1)
+				r.Observe("h", float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("n"); got != 8000 {
+		t.Errorf("counter = %v", got)
+	}
+	if got := r.Hist("h").Count(); got != 8000 {
+		t.Errorf("hist count = %v", got)
+	}
+}

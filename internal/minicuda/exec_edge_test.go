@@ -1,0 +1,275 @@
+package minicuda
+
+import (
+	"errors"
+	"testing"
+
+	"webgpu/internal/gpusim"
+)
+
+// Edge-case interpreter coverage beyond the lab-shaped kernels.
+
+func runScalarKernel(t *testing.T, src string, nOut int) []float32 {
+	t.Helper()
+	d := gpusim.NewDefaultDevice()
+	p := mustCompile(t, src)
+	out, _ := d.Malloc(nOut * 4)
+	_, err := p.Launch(d, "k", LaunchOpts{Grid: gpusim.D1(1), Block: gpusim.D1(1)}, FloatPtr(out))
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	got, _ := d.ReadFloat32(out, nOut)
+	return got
+}
+
+func TestPrefixAndPostfixIncrement(t *testing.T) {
+	got := runScalarKernel(t, `
+__global__ void k(float *out) {
+  int a = 5;
+  out[0] = (float)(a++); // 5, a=6
+  out[1] = (float)(++a); // 7, a=7
+  out[2] = (float)(a--); // 7, a=6
+  out[3] = (float)(--a); // 5, a=5
+  out[4] = (float)a;
+  float f = 1.5f;
+  f++;
+  out[5] = f;
+}`, 6)
+	want := []float32{5, 7, 7, 5, 5, 2.5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("out[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPointerIncrementWalk(t *testing.T) {
+	d := gpusim.NewDefaultDevice()
+	p := mustCompile(t, `
+__global__ void k(float *data, int n) {
+  float *ptr = data;
+  float sum = 0.0f;
+  for (int i = 0; i < n; i++) {
+    sum += *ptr;
+    ptr++;
+  }
+  data[0] = sum;
+  float *q = data + n - 1;
+  q -= 1;           // compound pointer assignment
+  data[1] = *q;
+}`)
+	vals := []float32{1, 2, 3, 4, 5}
+	dp, _ := d.MallocFloat32(5, vals)
+	_, err := p.Launch(d, "k", LaunchOpts{Grid: gpusim.D1(1), Block: gpusim.D1(1)},
+		FloatPtr(dp), Int(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := d.ReadFloat32(dp, 5)
+	if got[0] != 15 {
+		t.Errorf("sum via pointer walk = %v", got[0])
+	}
+	if got[1] != 4 {
+		t.Errorf("q points at %v, want 4", got[1])
+	}
+}
+
+func TestCommaOperatorInFor(t *testing.T) {
+	got := runScalarKernel(t, `
+__global__ void k(float *out) {
+  int s = 0;
+  int i;
+  int j;
+  for (i = 0, j = 10; i < j; i++, j--) {
+    s += 1;
+  }
+  out[0] = (float)s; // meets in the middle after 5 iterations
+  out[1] = (float)i;
+  out[2] = (float)j;
+}`, 3)
+	if got[0] != 5 || got[1] != 5 || got[2] != 5 {
+		t.Errorf("got %v, want [5 5 5]", got)
+	}
+}
+
+func TestNestedDeviceCalls(t *testing.T) {
+	got := runScalarKernel(t, `
+__device__ int twice(int x) { return x * 2; }
+__device__ int addTwice(int a, int b) { return twice(a) + twice(b); }
+__global__ void k(float *out) {
+  out[0] = (float)addTwice(3, 4); // 14
+}`, 1)
+	if got[0] != 14 {
+		t.Errorf("nested call = %v", got[0])
+	}
+}
+
+func TestRecursionDepthLimit(t *testing.T) {
+	d := gpusim.NewDefaultDevice()
+	p := mustCompile(t, `
+__device__ int down(int n) {
+  if (n <= 0) return 0;
+  return down(n - 1) + 1;
+}
+__global__ void k(int *out, int n) { out[0] = down(n); }`)
+	out, _ := d.Malloc(4)
+	// Shallow recursion works.
+	if _, err := p.Launch(d, "k", LaunchOpts{Grid: gpusim.D1(1), Block: gpusim.D1(1)},
+		IntPtr(out), Int(20)); err != nil {
+		t.Fatalf("shallow recursion: %v", err)
+	}
+	got, _ := d.ReadInt32(out, 1)
+	if got[0] != 20 {
+		t.Errorf("down(20) = %d", got[0])
+	}
+	// Deep recursion trips the device call-stack limit.
+	_, err := p.Launch(d, "k", LaunchOpts{Grid: gpusim.D1(1), Block: gpusim.D1(1)},
+		IntPtr(out), Int(10000))
+	if !errors.Is(err, ErrCallDepth) {
+		t.Errorf("deep recursion err = %v, want ErrCallDepth", err)
+	}
+}
+
+func TestDoWhileWithBreakContinue(t *testing.T) {
+	got := runScalarKernel(t, `
+__global__ void k(float *out) {
+  int i = 0;
+  int s = 0;
+  do {
+    i++;
+    if (i == 3) continue;
+    if (i >= 6) break;
+    s += i;
+  } while (i < 100);
+  out[0] = (float)s; // 1+2+4+5 = 12
+  out[1] = (float)i; // 6
+}`, 2)
+	if got[0] != 12 || got[1] != 6 {
+		t.Errorf("got %v, want [12 6]", got)
+	}
+}
+
+func TestAddressOfSharedScalar(t *testing.T) {
+	d := gpusim.NewDefaultDevice()
+	p := mustCompile(t, `
+__global__ void k(int *out) {
+  __shared__ int counter;
+  if (threadIdx.x == 0) counter = 0;
+  __syncthreads();
+  atomicAdd(&counter, 1);
+  __syncthreads();
+  if (threadIdx.x == 0) out[0] = counter;
+}`)
+	out, _ := d.Malloc(4)
+	_, err := p.Launch(d, "k", LaunchOpts{Grid: gpusim.D1(1), Block: gpusim.D1(96)}, IntPtr(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := d.ReadInt32(out, 1)
+	if got[0] != 96 {
+		t.Errorf("shared counter = %d, want 96", got[0])
+	}
+}
+
+func TestConstScalarGlobal(t *testing.T) {
+	d := gpusim.NewDefaultDevice()
+	p := mustCompile(t, `
+__constant__ float scaleFactor;
+__global__ void k(float *out) { out[threadIdx.x] = scaleFactor * (float)threadIdx.x; }`)
+	if err := p.LoadConstant(d, "scaleFactor", gpusim.Float32Bytes([]float32{2.5})); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := d.Malloc(4 * 4)
+	if _, err := p.Launch(d, "k", LaunchOpts{Grid: gpusim.D1(1), Block: gpusim.D1(4)},
+		FloatPtr(out)); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := d.ReadFloat32(out, 4)
+	if got[3] != 7.5 {
+		t.Errorf("out[3] = %v, want 7.5", got[3])
+	}
+}
+
+func TestCharConversions(t *testing.T) {
+	got := runScalarKernel(t, `
+__global__ void k(float *out) {
+  unsigned char u = (unsigned char)300; // 44
+  char c = (char)200;                   // -56
+  out[0] = (float)u;
+  out[1] = (float)c;
+  out[2] = (float)'A';
+  out[3] = (float)'\n';
+}`, 4)
+	want := []float32{44, -56, 65, 10}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("out[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNegativeModuloCSemantics(t *testing.T) {
+	got := runScalarKernel(t, `
+__global__ void k(float *out) {
+  out[0] = (float)(-7 % 3);  // -1 in C
+  out[1] = (float)(7 % -3);  // 1 in C
+  out[2] = (float)(-7 / 2);  // -3 (truncation toward zero)
+}`, 3)
+	want := []float32{-1, 1, -3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("out[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTernaryChained(t *testing.T) {
+	got := runScalarKernel(t, `
+__global__ void k(float *out) {
+  int x = 7;
+  out[0] = x < 5 ? 1.0f : x < 10 ? 2.0f : 3.0f;
+  out[1] = (float)(x > 0 ? x : -x);
+}`, 2)
+	if got[0] != 2 || got[1] != 7 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestSizeofTypes(t *testing.T) {
+	got := runScalarKernel(t, `
+__global__ void k(float *out) {
+  out[0] = (float)sizeof(int);
+  out[1] = (float)sizeof(float);
+  out[2] = (float)sizeof(char);
+  out[3] = (float)sizeof(float*);
+}`, 4)
+	want := []float32{4, 4, 1, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("sizeof case %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestGridStrideLoopPattern(t *testing.T) {
+	// The canonical grid-stride loop: fewer threads than elements.
+	d := gpusim.NewDefaultDevice()
+	p := mustCompile(t, `
+__global__ void k(float *data, int n) {
+  for (int i = blockIdx.x * blockDim.x + threadIdx.x; i < n; i += blockDim.x * gridDim.x) {
+    data[i] = data[i] + 1.0f;
+  }
+}`)
+	n := 1000
+	dp, _ := d.MallocFloat32(n, make([]float32, n))
+	if _, err := p.Launch(d, "k", LaunchOpts{Grid: gpusim.D1(2), Block: gpusim.D1(64)},
+		FloatPtr(dp), Int(n)); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := d.ReadFloat32(dp, n)
+	for i, v := range got {
+		if v != 1 {
+			t.Fatalf("data[%d] = %v", i, v)
+		}
+	}
+}

@@ -1,0 +1,718 @@
+package minicuda
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"webgpu/internal/gpusim"
+)
+
+func run1D(t *testing.T, src, kernel string, grid, block int, args ...Arg) (*gpusim.Device, *gpusim.LaunchStats) {
+	t.Helper()
+	d := gpusim.NewDefaultDevice()
+	p := mustCompile(t, src)
+	stats, err := p.Launch(d, kernel, LaunchOpts{Grid: gpusim.D1(grid), Block: gpusim.D1(block)}, args...)
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	return d, stats
+}
+
+func TestExecVecAdd(t *testing.T) {
+	d := gpusim.NewDefaultDevice()
+	p := mustCompile(t, vecAddSrc)
+	n := 300
+	av := make([]float32, n)
+	bv := make([]float32, n)
+	for i := range av {
+		av[i] = float32(i) * 0.5
+		bv[i] = float32(n - i)
+	}
+	a, _ := d.MallocFloat32(n, av)
+	b, _ := d.MallocFloat32(n, bv)
+	c, _ := d.Malloc(n * 4)
+	_, err := p.Launch(d, "vecAdd",
+		LaunchOpts{Grid: gpusim.D1((n + 127) / 128), Block: gpusim.D1(128)},
+		FloatPtr(a), FloatPtr(b), FloatPtr(c), Int(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := d.ReadFloat32(c, n)
+	for i := range got {
+		want := av[i] + bv[i]
+		if got[i] != want {
+			t.Fatalf("c[%d] = %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestExecTiledMatMul(t *testing.T) {
+	src := `
+#define TILE_WIDTH 8
+__global__ void matrixMultiplyShared(float *A, float *B, float *C,
+                                     int numARows, int numACols, int numBCols) {
+  __shared__ float tileA[TILE_WIDTH][TILE_WIDTH];
+  __shared__ float tileB[TILE_WIDTH][TILE_WIDTH];
+  int row = blockIdx.y * TILE_WIDTH + threadIdx.y;
+  int col = blockIdx.x * TILE_WIDTH + threadIdx.x;
+  float acc = 0.0f;
+  for (int m = 0; m < (numACols + TILE_WIDTH - 1) / TILE_WIDTH; m++) {
+    if (row < numARows && m * TILE_WIDTH + threadIdx.x < numACols)
+      tileA[threadIdx.y][threadIdx.x] = A[row * numACols + m * TILE_WIDTH + threadIdx.x];
+    else
+      tileA[threadIdx.y][threadIdx.x] = 0.0f;
+    if (col < numBCols && m * TILE_WIDTH + threadIdx.y < numACols)
+      tileB[threadIdx.y][threadIdx.x] = B[(m * TILE_WIDTH + threadIdx.y) * numBCols + col];
+    else
+      tileB[threadIdx.y][threadIdx.x] = 0.0f;
+    __syncthreads();
+    for (int k = 0; k < TILE_WIDTH; k++)
+      acc += tileA[threadIdx.y][k] * tileB[k][threadIdx.x];
+    __syncthreads();
+  }
+  if (row < numARows && col < numBCols)
+    C[row * numBCols + col] = acc;
+}
+`
+	d := gpusim.NewDefaultDevice()
+	p := mustCompile(t, src)
+	ra, ca, cb := 13, 9, 11 // deliberately non-multiple of tile
+	av := make([]float32, ra*ca)
+	bv := make([]float32, ca*cb)
+	for i := range av {
+		av[i] = float32(i%7) - 2
+	}
+	for i := range bv {
+		bv[i] = float32(i%5) * 0.25
+	}
+	a, _ := d.MallocFloat32(len(av), av)
+	b, _ := d.MallocFloat32(len(bv), bv)
+	c, _ := d.Malloc(ra * cb * 4)
+	_, err := p.Launch(d, "matrixMultiplyShared",
+		LaunchOpts{Grid: gpusim.D2((cb+7)/8, (ra+7)/8), Block: gpusim.D2(8, 8)},
+		FloatPtr(a), FloatPtr(b), FloatPtr(c), Int(ra), Int(ca), Int(cb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := d.ReadFloat32(c, ra*cb)
+	for r := 0; r < ra; r++ {
+		for cc := 0; cc < cb; cc++ {
+			var want float32
+			for k := 0; k < ca; k++ {
+				want += av[r*ca+k] * bv[k*cb+cc]
+			}
+			g := got[r*cb+cc]
+			if diff := g - want; diff < -1e-3 || diff > 1e-3 {
+				t.Fatalf("C[%d][%d] = %v, want %v", r, cc, g, want)
+			}
+		}
+	}
+}
+
+func TestExecConstantMemoryConvolution(t *testing.T) {
+	src := `
+__constant__ float M[5];
+__global__ void conv1d(float *in, float *out, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i >= n) return;
+  float acc = 0.0f;
+  for (int j = 0; j < 5; j++) {
+    int k = i + j - 2;
+    if (k >= 0 && k < n) acc += in[k] * M[j];
+  }
+  out[i] = acc;
+}
+`
+	d := gpusim.NewDefaultDevice()
+	p := mustCompile(t, src)
+	mask := []float32{0.1, 0.2, 0.4, 0.2, 0.1}
+	if err := p.LoadConstant(d, "M", gpusim.Float32Bytes(mask)); err != nil {
+		t.Fatal(err)
+	}
+	n := 64
+	in := make([]float32, n)
+	for i := range in {
+		in[i] = float32(i)
+	}
+	ip, _ := d.MallocFloat32(n, in)
+	op, _ := d.Malloc(n * 4)
+	_, err := p.Launch(d, "conv1d", LaunchOpts{Grid: gpusim.D1(1), Block: gpusim.D1(64)},
+		FloatPtr(ip), FloatPtr(op), Int(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := d.ReadFloat32(op, n)
+	for i := 0; i < n; i++ {
+		var want float32
+		for j := 0; j < 5; j++ {
+			k := i + j - 2
+			if k >= 0 && k < n {
+				want += in[k] * mask[j]
+			}
+		}
+		if diff := got[i] - want; diff < -1e-4 || diff > 1e-4 {
+			t.Fatalf("out[%d] = %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestExecReductionWithAtomics(t *testing.T) {
+	src := `
+__global__ void total(float *input, float *output, int len) {
+  __shared__ float partial[256];
+  int t = threadIdx.x;
+  int i = blockIdx.x * blockDim.x * 2 + threadIdx.x;
+  float sum = 0.0f;
+  if (i < len) sum += input[i];
+  if (i + blockDim.x < len) sum += input[i + blockDim.x];
+  partial[t] = sum;
+  for (int stride = blockDim.x / 2; stride >= 1; stride /= 2) {
+    __syncthreads();
+    if (t < stride) partial[t] += partial[t + stride];
+  }
+  if (t == 0) atomicAdd(output, partial[0]);
+}
+`
+	d := gpusim.NewDefaultDevice()
+	p := mustCompile(t, src)
+	n := 1000
+	in := make([]float32, n)
+	var want float64
+	for i := range in {
+		in[i] = float32(i%11) - 5
+		want += float64(in[i])
+	}
+	ip, _ := d.MallocFloat32(n, in)
+	op, _ := d.Malloc(4)
+	blocks := (n + 511) / 512
+	_, err := p.Launch(d, "total", LaunchOpts{Grid: gpusim.D1(blocks), Block: gpusim.D1(256)},
+		FloatPtr(ip), FloatPtr(op), Int(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := d.ReadFloat32(op, 1)
+	if math.Abs(float64(got[0])-want) > 1e-2 {
+		t.Errorf("sum = %v, want %v", got[0], want)
+	}
+}
+
+func TestExecHistogramUChar(t *testing.T) {
+	src := `
+__global__ void histo(unsigned char *input, int *bins, int len) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int stride = blockDim.x * gridDim.x;
+  while (i < len) {
+    atomicAdd(&bins[input[i]], 1);
+    i += stride;
+  }
+}
+`
+	d := gpusim.NewDefaultDevice()
+	p := mustCompile(t, src)
+	n := 4096
+	data := make([]byte, n)
+	want := make([]int32, 256)
+	for i := range data {
+		data[i] = byte((i * 31) % 256)
+		want[data[i]]++
+	}
+	ip, _ := d.Malloc(n)
+	if err := d.MemcpyHtoD(ip, data); err != nil {
+		t.Fatal(err)
+	}
+	bp, _ := d.Malloc(256 * 4)
+	_, err := p.Launch(d, "histo", LaunchOpts{Grid: gpusim.D1(8), Block: gpusim.D1(128)},
+		UCharPtr(ip), IntPtr(bp), Int(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := d.ReadInt32(bp, 256)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bin[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestExecDeviceFunctionAndMath(t *testing.T) {
+	src := `
+__device__ float dist2(float x1, float y1, float x2, float y2) {
+  float dx = x1 - x2;
+  float dy = y1 - y2;
+  return dx * dx + dy * dy;
+}
+__global__ void k(float *out) {
+  int i = threadIdx.x;
+  out[i] = sqrtf(dist2((float)i, 0.0f, 0.0f, 3.0f)) + fmaxf(1.0f, 2.0f) + min(4, i);
+}
+`
+	d, _ := run1DWithOut(t, src, "k", 8)
+	got, _ := d.ReadFloat32(outOf(d), 8)
+	for i := 0; i < 8; i++ {
+		want := float32(math.Sqrt(float64(i*i+9))) + 2 + float32(minInt(4, i))
+		if diff := got[i] - want; diff < -1e-4 || diff > 1e-4 {
+			t.Errorf("out[%d] = %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+// helpers: a device with one float32 out buffer as the only allocation.
+var outPtrs = map[*gpusim.Device]gpusim.Ptr{}
+
+func run1DWithOut(t *testing.T, src, kernel string, n int) (*gpusim.Device, *gpusim.LaunchStats) {
+	t.Helper()
+	d := gpusim.NewDefaultDevice()
+	p := mustCompile(t, src)
+	out, _ := d.Malloc(n * 4)
+	outPtrs[d] = out
+	stats, err := p.Launch(d, kernel, LaunchOpts{Grid: gpusim.D1(1), Block: gpusim.D1(n)}, FloatPtr(out))
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	return d, stats
+}
+
+func outOf(d *gpusim.Device) gpusim.Ptr { return outPtrs[d] }
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestExecLocalArrayRegisterTiling(t *testing.T) {
+	src := `
+__global__ void k(float *out) {
+  float reg[4];
+  int i = threadIdx.x;
+  for (int j = 0; j < 4; j++) reg[j] = (float)(i + j);
+  float acc = 0.0f;
+  for (int j = 0; j < 4; j++) acc += reg[j] * reg[j];
+  out[i] = acc;
+}
+`
+	d, _ := run1DWithOut(t, src, "k", 16)
+	got, _ := d.ReadFloat32(outOf(d), 16)
+	for i := 0; i < 16; i++ {
+		var want float32
+		for j := 0; j < 4; j++ {
+			v := float32(i + j)
+			want += v * v
+		}
+		if got[i] != want {
+			t.Errorf("out[%d] = %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestExecControlFlow(t *testing.T) {
+	src := `
+__global__ void k(float *out) {
+  int i = threadIdx.x;
+  int acc = 0;
+  for (int j = 0; j < 100; j++) {
+    if (j == 50) break;
+    if (j % 2 == 1) continue;
+    acc += j;
+  }
+  int w = 0;
+  while (w < i) w++;
+  int dw = 0;
+  do { dw++; } while (dw < 3);
+  out[i] = (float)(acc + w * 1000 + dw * 10000);
+}
+`
+	d, _ := run1DWithOut(t, src, "k", 4)
+	got, _ := d.ReadFloat32(outOf(d), 4)
+	// acc = 0+2+...+48 = 600; dw = 3.
+	for i := 0; i < 4; i++ {
+		want := float32(600 + i*1000 + 30000)
+		if got[i] != want {
+			t.Errorf("out[%d] = %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestExecOperators(t *testing.T) {
+	src := `
+__global__ void k(float *out) {
+  int a = 7, b = 2;
+  out[0] = (float)(a / b);
+  out[1] = (float)(a % b);
+  out[2] = (float)(a << 2);
+  out[3] = (float)(a >> 1);
+  out[4] = (float)(a & b);
+  out[5] = (float)(a | b);
+  out[6] = (float)(a ^ b);
+  out[7] = (float)(~a);
+  out[8] = (float)(-a);
+  out[9] = (float)(!a);
+  out[10] = (float)(a > b ? 11 : 22);
+  out[11] = a > b && b > 0 ? 1.0f : 0.0f;
+  unsigned int u = 0xFFFFFFFFu;
+  out[12] = (float)(u >> 28);
+  int c = 5;
+  c += 3; out[13] = (float)c;
+  c *= 2; out[14] = (float)c;
+  c--; out[15] = (float)c;
+}
+`
+	d := gpusim.NewDefaultDevice()
+	p := mustCompile(t, src)
+	out, _ := d.Malloc(16 * 4)
+	_, err := p.Launch(d, "k", LaunchOpts{Grid: gpusim.D1(1), Block: gpusim.D1(1)}, FloatPtr(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := d.ReadFloat32(out, 16)
+	want := []float32{3, 1, 28, 3, 2, 7, 5, -8, -7, 0, 11, 1, 15, 8, 16, 15}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("out[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestExecPointerArithmetic(t *testing.T) {
+	src := `
+__global__ void k(float *data, int n) {
+  float *p = data + threadIdx.x;
+  *p = *p * 2.0f;
+  if (threadIdx.x == 0) {
+    float *q = &data[4];
+    *q = 99.0f;
+  }
+}
+`
+	d := gpusim.NewDefaultDevice()
+	p := mustCompile(t, src)
+	vals := []float32{1, 2, 3, 4, 0, 0}
+	dp, _ := d.MallocFloat32(6, vals)
+	_, err := p.Launch(d, "k", LaunchOpts{Grid: gpusim.D1(1), Block: gpusim.D1(4)},
+		FloatPtr(dp), Int(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := d.ReadFloat32(dp, 6)
+	want := []float32{2, 4, 6, 8, 99, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("data[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestExecOpenCLVecAdd(t *testing.T) {
+	src := `
+__kernel void vadd(__global const float *a, __global const float *b,
+                   __global float *c, const unsigned int n) {
+  int i = get_global_id(0);
+  if (i < n) c[i] = a[i] + b[i];
+}
+`
+	d := gpusim.NewDefaultDevice()
+	p, err := Compile(src, DialectOpenCL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 100
+	av := make([]float32, n)
+	bv := make([]float32, n)
+	for i := range av {
+		av[i] = float32(i)
+		bv[i] = 1
+	}
+	a, _ := d.MallocFloat32(n, av)
+	b, _ := d.MallocFloat32(n, bv)
+	c, _ := d.Malloc(n * 4)
+	_, err = p.Launch(d, "vadd", LaunchOpts{Grid: gpusim.D1(2), Block: gpusim.D1(64)},
+		FloatPtr(a), FloatPtr(b), FloatPtr(c), Int(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := d.ReadFloat32(c, n)
+	for i := range got {
+		if got[i] != av[i]+1 {
+			t.Fatalf("c[%d] = %v", i, got[i])
+		}
+	}
+}
+
+func TestExecOpenCLLocalMemoryReduction(t *testing.T) {
+	// A realistic OpenCL work-group reduction: __local memory plus
+	// barrier(CLK_LOCAL_MEM_FENCE).
+	src := `
+__kernel void reduce(__global const float *in, __global float *out, int n) {
+  __local float scratch[64];
+  int lid = get_local_id(0);
+  int gid = get_global_id(0);
+  scratch[lid] = (gid < n) ? in[gid] : 0.0f;
+  for (int stride = get_local_size(0) / 2; stride > 0; stride = stride / 2) {
+    barrier(CLK_LOCAL_MEM_FENCE);
+    if (lid < stride) {
+      scratch[lid] = scratch[lid] + scratch[lid + stride];
+    }
+  }
+  barrier(CLK_GLOBAL_MEM_FENCE);
+  if (lid == 0) {
+    out[get_group_id(0)] = scratch[0];
+  }
+}
+`
+	p, err := Compile(src, DialectOpenCL)
+	if err != nil {
+		t.Fatalf("OpenCL reduce compile: %v", err)
+	}
+	d := gpusim.NewDefaultDevice()
+	n := 256
+	in := make([]float32, n)
+	var want [4]float32
+	for i := range in {
+		in[i] = float32(i%9) - 4
+		want[i/64] += in[i]
+	}
+	ip, _ := d.MallocFloat32(n, in)
+	op, _ := d.Malloc(4 * 4)
+	_, err = p.Launch(d, "reduce", LaunchOpts{Grid: gpusim.D1(4), Block: gpusim.D1(64)},
+		FloatPtr(ip), FloatPtr(op), Int(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := d.ReadFloat32(op, 4)
+	for g := 0; g < 4; g++ {
+		if diff := got[g] - want[g]; diff < -1e-3 || diff > 1e-3 {
+			t.Errorf("group %d sum = %v, want %v", g, got[g], want[g])
+		}
+	}
+}
+
+func TestCLKConstantsOnlyInOpenCL(t *testing.T) {
+	src := `__global__ void k(int *out) { out[0] = CLK_LOCAL_MEM_FENCE; }`
+	if _, err := Compile(src, DialectCUDA); err == nil {
+		t.Error("CLK_LOCAL_MEM_FENCE resolved in CUDA dialect")
+	}
+}
+
+func TestExecStepLimit(t *testing.T) {
+	src := `
+__global__ void spin(float *out) {
+  float x = 0.0f;
+  while (1) { x += 1.0f; }
+  out[0] = x;
+}
+`
+	d := gpusim.NewDefaultDevice()
+	p := mustCompile(t, src)
+	out, _ := d.Malloc(4)
+	_, err := p.Launch(d, "spin",
+		LaunchOpts{Grid: gpusim.D1(1), Block: gpusim.D1(1), MaxSteps: 10000}, FloatPtr(out))
+	if !errors.Is(err, ErrStepLimit) {
+		t.Errorf("err = %v, want ErrStepLimit", err)
+	}
+}
+
+func TestExecDivByZero(t *testing.T) {
+	src := `
+__global__ void k(int *out) { out[0] = 1 / out[1]; }
+`
+	d := gpusim.NewDefaultDevice()
+	p := mustCompile(t, src)
+	out, _ := d.MallocInt32(2, []int32{0, 0})
+	_, err := p.Launch(d, "k", LaunchOpts{Grid: gpusim.D1(1), Block: gpusim.D1(1)}, IntPtr(out))
+	if !errors.Is(err, ErrDivByZero) {
+		t.Errorf("err = %v, want ErrDivByZero", err)
+	}
+}
+
+func TestExecOutOfBoundsReported(t *testing.T) {
+	src := `
+__global__ void k(float *a, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  a[i] = 1.0f; // missing bounds check: classic student bug
+}
+`
+	d := gpusim.NewDefaultDevice()
+	p := mustCompile(t, src)
+	a, _ := d.Malloc(10 * 4)
+	_, err := p.Launch(d, "k", LaunchOpts{Grid: gpusim.D1(1), Block: gpusim.D1(32)},
+		FloatPtr(a), Int(10))
+	if !errors.Is(err, gpusim.ErrIllegalAccess) {
+		t.Errorf("err = %v, want ErrIllegalAccess", err)
+	}
+}
+
+func TestExecBarrierDivergenceInSource(t *testing.T) {
+	src := `
+__global__ void k(float *a) {
+  if (threadIdx.x < 16) __syncthreads();
+  a[threadIdx.x] = 1.0f;
+}
+`
+	d := gpusim.NewDefaultDevice()
+	p := mustCompile(t, src)
+	a, _ := d.Malloc(32 * 4)
+	_, err := p.Launch(d, "k", LaunchOpts{Grid: gpusim.D1(1), Block: gpusim.D1(32)}, FloatPtr(a))
+	if !errors.Is(err, gpusim.ErrBarrierDivergence) {
+		t.Errorf("err = %v, want ErrBarrierDivergence", err)
+	}
+}
+
+func TestExecWrongArgTypeRejected(t *testing.T) {
+	d := gpusim.NewDefaultDevice()
+	p := mustCompile(t, vecAddSrc)
+	a, _ := d.Malloc(16)
+	if _, err := p.Launch(d, "vecAdd", LaunchOpts{Grid: gpusim.D1(1), Block: gpusim.D1(4)},
+		IntPtr(a), IntPtr(a), IntPtr(a), Int(4)); err == nil {
+		t.Error("int* accepted where float* expected")
+	}
+	if _, err := p.Launch(d, "vecAdd", LaunchOpts{Grid: gpusim.D1(1), Block: gpusim.D1(4)},
+		FloatPtr(a), FloatPtr(a)); err == nil {
+		t.Error("wrong arg count accepted")
+	}
+	if _, err := p.Launch(d, "nope", LaunchOpts{Grid: gpusim.D1(1), Block: gpusim.D1(4)}); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+}
+
+func TestExecUnsignedWraparound(t *testing.T) {
+	src := `
+__global__ void k(int *out) {
+  unsigned int h = 2166136261u;
+  h = h * 16777619u;
+  out[0] = (int)(h % 97u);
+  int big = 2147483647;
+  out[1] = big + 1; // signed int32 wrap
+}
+`
+	d := gpusim.NewDefaultDevice()
+	p := mustCompile(t, src)
+	out, _ := d.Malloc(8)
+	_, err := p.Launch(d, "k", LaunchOpts{Grid: gpusim.D1(1), Block: gpusim.D1(1)}, IntPtr(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := d.ReadInt32(out, 2)
+	var h uint32 = 2166136261
+	h *= 16777619
+	wantHash := int32(h % 97)
+	if got[0] != wantHash {
+		t.Errorf("hash = %d, want %d", got[0], wantHash)
+	}
+	if got[1] != math.MinInt32 {
+		t.Errorf("wrap = %d, want %d", got[1], math.MinInt32)
+	}
+}
+
+func TestExecScanBlelloch(t *testing.T) {
+	// Work-efficient exclusive scan within one block (the course's Scan lab
+	// core), converted to inclusive on write-out.
+	src := `
+#define BLOCK_SIZE 64
+__global__ void scan(float *input, float *output, int len) {
+  __shared__ float T[128];
+  int t = threadIdx.x;
+  int start = 2 * blockIdx.x * BLOCK_SIZE;
+  T[2 * t] = (start + 2 * t < len) ? input[start + 2 * t] : 0.0f;
+  T[2 * t + 1] = (start + 2 * t + 1 < len) ? input[start + 2 * t + 1] : 0.0f;
+  int stride = 1;
+  while (stride < 2 * BLOCK_SIZE) {
+    __syncthreads();
+    int index = (t + 1) * stride * 2 - 1;
+    if (index < 2 * BLOCK_SIZE && index - stride >= 0)
+      T[index] += T[index - stride];
+    stride = stride * 2;
+  }
+  stride = BLOCK_SIZE / 2;
+  while (stride > 0) {
+    __syncthreads();
+    int index = (t + 1) * stride * 2 - 1;
+    if (index + stride < 2 * BLOCK_SIZE)
+      T[index + stride] += T[index];
+    stride = stride / 2;
+  }
+  __syncthreads();
+  if (start + 2 * t < len) output[start + 2 * t] = T[2 * t];
+  if (start + 2 * t + 1 < len) output[start + 2 * t + 1] = T[2 * t + 1];
+}
+`
+	d := gpusim.NewDefaultDevice()
+	p := mustCompile(t, src)
+	n := 128
+	in := make([]float32, n)
+	for i := range in {
+		in[i] = float32(i%4) + 1
+	}
+	ip, _ := d.MallocFloat32(n, in)
+	op, _ := d.Malloc(n * 4)
+	_, err := p.Launch(d, "scan", LaunchOpts{Grid: gpusim.D1(1), Block: gpusim.D1(64)},
+		FloatPtr(ip), FloatPtr(op), Int(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := d.ReadFloat32(op, n)
+	var run float32
+	for i := 0; i < n; i++ {
+		run += in[i]
+		if diff := got[i] - run; diff < -1e-3 || diff > 1e-3 {
+			t.Fatalf("scan[%d] = %v, want %v", i, got[i], run)
+		}
+	}
+}
+
+func TestExecStatsExposeTiling(t *testing.T) {
+	// The interpreter's memory traffic must flow into the cost model: the
+	// same matmul with shared-memory tiling issues fewer global transactions.
+	naive := `
+__global__ void mm(float *A, float *B, float *C, int n) {
+  int row = blockIdx.y * blockDim.y + threadIdx.y;
+  int col = blockIdx.x * blockDim.x + threadIdx.x;
+  if (row >= n || col >= n) return;
+  float acc = 0.0f;
+  for (int k = 0; k < n; k++) acc += A[row * n + k] * B[k * n + col];
+  C[row * n + col] = acc;
+}
+`
+	tiled := `
+#define TW 8
+__global__ void mm(float *A, float *B, float *C, int n) {
+  __shared__ float tA[TW][TW];
+  __shared__ float tB[TW][TW];
+  int row = blockIdx.y * TW + threadIdx.y;
+  int col = blockIdx.x * TW + threadIdx.x;
+  float acc = 0.0f;
+  for (int m = 0; m < n / TW; m++) {
+    tA[threadIdx.y][threadIdx.x] = A[row * n + m * TW + threadIdx.x];
+    tB[threadIdx.y][threadIdx.x] = B[(m * TW + threadIdx.y) * n + col];
+    __syncthreads();
+    for (int k = 0; k < TW; k++) acc += tA[threadIdx.y][k] * tB[k][threadIdx.x];
+    __syncthreads();
+  }
+  C[row * n + col] = acc;
+}
+`
+	n := 32
+	runMM := func(src string) *gpusim.LaunchStats {
+		d := gpusim.NewDefaultDevice()
+		p := mustCompile(t, src)
+		a, _ := d.Malloc(n * n * 4)
+		b, _ := d.Malloc(n * n * 4)
+		c, _ := d.Malloc(n * n * 4)
+		s, err := p.Launch(d, "mm",
+			LaunchOpts{Grid: gpusim.D2(n/8, n/8), Block: gpusim.D2(8, 8)},
+			FloatPtr(a), FloatPtr(b), FloatPtr(c), Int(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	sn := runMM(naive)
+	st := runMM(tiled)
+	if st.GlobalTx >= sn.GlobalTx {
+		t.Errorf("tiled GlobalTx %d >= naive %d", st.GlobalTx, sn.GlobalTx)
+	}
+	if st.SimCycles >= sn.SimCycles {
+		t.Errorf("tiled SimCycles %d >= naive %d", st.SimCycles, sn.SimCycles)
+	}
+}

@@ -1,0 +1,196 @@
+package minicuda
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLexBasic(t *testing.T) {
+	toks, err := Lex("__global__ void vecAdd(float* a, int n) { a[0] = 1.5f; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokKind
+	var texts []string
+	for _, tk := range toks {
+		kinds = append(kinds, tk.Kind)
+		texts = append(texts, tk.Text)
+	}
+	if kinds[0] != TokKeyword || texts[0] != "__global__" {
+		t.Errorf("tok0 = %v %q", kinds[0], texts[0])
+	}
+	want := []string{"__global__", "void", "vecAdd", "(", "float", "*", "a", ",",
+		"int", "n", ")", "{", "a", "[", "0", "]", "=", "1.5f", ";", "}", ""}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(want), texts)
+	}
+	for i, w := range want[:len(want)-1] {
+		if texts[i] != w {
+			t.Errorf("tok %d = %q, want %q", i, texts[i], w)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := Lex("int a; // line comment\n/* block\ncomment */ int b;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idents []string
+	for _, tk := range toks {
+		if tk.Kind == TokIdent {
+			idents = append(idents, tk.Text)
+		}
+	}
+	if len(idents) != 2 || idents[0] != "a" || idents[1] != "b" {
+		t.Errorf("idents = %v", idents)
+	}
+}
+
+func TestLexUnterminatedComment(t *testing.T) {
+	if _, err := Lex("int a; /* oops"); err == nil {
+		t.Error("unterminated comment not detected")
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind TokKind
+	}{
+		{"42", TokIntLit},
+		{"0x1F", TokIntLit},
+		{"42u", TokIntLit},
+		{"1.5", TokFloatLit},
+		{"1.5f", TokFloatLit},
+		{"2f", TokFloatLit},
+		{"1e10", TokFloatLit},
+		{"2.5e-3f", TokFloatLit},
+		{".5", TokFloatLit},
+	}
+	for _, c := range cases {
+		toks, err := Lex(c.src)
+		if err != nil {
+			t.Errorf("%q: %v", c.src, err)
+			continue
+		}
+		if toks[0].Kind != c.kind {
+			t.Errorf("%q: kind = %v, want %v", c.src, toks[0].Kind, c.kind)
+		}
+		if toks[0].Text != c.src {
+			t.Errorf("%q: text = %q", c.src, toks[0].Text)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("int a;\n  float b;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "float" is on line 2 col 3.
+	for _, tk := range toks {
+		if tk.Text == "float" {
+			if tk.Line != 2 || tk.Col != 3 {
+				t.Errorf("float at %d:%d, want 2:3", tk.Line, tk.Col)
+			}
+			return
+		}
+	}
+	t.Fatal("float token not found")
+}
+
+func TestLexMultiCharOps(t *testing.T) {
+	toks, err := Lex("a <<= b >> c != d && e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []string
+	for _, tk := range toks {
+		if tk.Kind == TokPunct {
+			ops = append(ops, tk.Text)
+		}
+	}
+	want := []string{"<<=", ">>", "!=", "&&"}
+	if strings.Join(ops, " ") != strings.Join(want, " ") {
+		t.Errorf("ops = %v, want %v", ops, want)
+	}
+}
+
+func TestLexUnexpectedChar(t *testing.T) {
+	if _, err := Lex("int a = $;"); err == nil {
+		t.Error("expected error on '$'")
+	}
+}
+
+func TestPreprocessDefine(t *testing.T) {
+	out, err := Preprocess("#define TILE_WIDTH 16\nint x = TILE_WIDTH * TILE_WIDTH;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "16 * 16") {
+		t.Errorf("macro not expanded: %q", out)
+	}
+}
+
+func TestPreprocessDefineDoesNotTouchSubstrings(t *testing.T) {
+	out, err := Preprocess("#define N 4\nint NN = N; int xN = 2;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "NN = 4") || !strings.Contains(out, "xN = 2") {
+		t.Errorf("identifier-boundary expansion broken: %q", out)
+	}
+}
+
+func TestPreprocessIfZero(t *testing.T) {
+	src := "int a;\n#if 0\nint garbage $$$;\n#endif\nint b;"
+	out, err := Preprocess(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "garbage") {
+		t.Errorf("#if 0 block not removed: %q", out)
+	}
+	if !strings.Contains(out, "int b;") {
+		t.Errorf("code after #endif missing: %q", out)
+	}
+}
+
+func TestPreprocessIfElse(t *testing.T) {
+	src := "#if 0\nint dead;\n#else\nint live;\n#endif"
+	out, err := Preprocess(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "dead") || !strings.Contains(out, "live") {
+		t.Errorf("#else handling wrong: %q", out)
+	}
+}
+
+func TestPreprocessIncludeStripped(t *testing.T) {
+	out, err := Preprocess("#include <wb.h>\nint a;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "wb.h") {
+		t.Errorf("#include not stripped: %q", out)
+	}
+}
+
+func TestPreprocessFunctionMacroRejected(t *testing.T) {
+	if _, err := Preprocess("#define SQR(x) ((x)*(x))\n"); err == nil {
+		t.Error("function-like macro accepted")
+	}
+}
+
+func TestPreprocessLineCountPreserved(t *testing.T) {
+	src := "#define A 1\nint x = A;\nint y;"
+	out, err := Preprocess(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := strings.Count(out, "\n"), strings.Count(src, "\n")+1; got != want {
+		t.Errorf("line count changed: %d vs %d", got, want)
+	}
+}

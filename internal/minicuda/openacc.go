@@ -1,0 +1,251 @@
+package minicuda
+
+import (
+	"fmt"
+	"strings"
+)
+
+// OpenACC support. The paper's platform served OpenACC labs alongside
+// CUDA and OpenCL (§V: "Most courses are taught in the CUDA programming
+// language, but WebGPU also supports OpenCL, OpenACC, and MPI"); on the
+// real worker nodes the PGI compiler turned pragma-annotated loops into
+// kernels. TranslateOpenACC performs the same source-to-source step for
+// the subset the course materials use: a
+//
+//	#pragma acc parallel loop        (or: #pragma acc kernels loop)
+//	for (int i = START; i < BOUND; i++) { BODY }
+//
+// inside a void host function is compiled into a __global__ kernel named
+// after the host function, with one thread per iteration and the
+// canonical boundary guard. Clauses (gang, vector, copyin, ...) are
+// accepted and ignored, as a teaching compiler's default schedule would.
+
+// DialectOpenACC routes Compile through the OpenACC translator.
+const DialectOpenACC Dialect = 2
+
+// TranslateOpenACC rewrites OpenACC-annotated host code into CUDA kernel
+// source. Each `#pragma acc ... loop` + canonical for-loop becomes one
+// kernel; the first takes the host function's name, later ones get a
+// _loopN suffix.
+func TranslateOpenACC(src string) (string, error) {
+	clean := StripComments(src)
+	lines := strings.Split(clean, "\n")
+
+	var out strings.Builder
+	out.WriteString("// translated from OpenACC\n")
+
+	i := 0
+	kernels := 0
+	for i < len(lines) {
+		trimmed := strings.TrimSpace(lines[i])
+		if !isAccPragma(trimmed) {
+			i++
+			continue
+		}
+		pragmaLine := i + 1 // 1-based for diagnostics
+
+		// The pragma must annotate a for loop.
+		j := i + 1
+		for j < len(lines) && strings.TrimSpace(lines[j]) == "" {
+			j++
+		}
+		if j >= len(lines) || !strings.HasPrefix(strings.TrimSpace(lines[j]), "for") {
+			return "", &CompileError{Line: pragmaLine, Col: 1,
+				Msg: "#pragma acc loop must be followed by a for loop"}
+		}
+
+		// Find the enclosing function signature by scanning backwards.
+		fnName, params, err := enclosingFunction(lines, i)
+		if err != nil {
+			return "", err
+		}
+
+		// Parse the canonical loop header.
+		loopSrc := strings.Join(lines[j:], "\n")
+		hdr, body, _, err := parseAccLoop(loopSrc, j+1)
+		if err != nil {
+			return "", err
+		}
+
+		name := fnName
+		if kernels > 0 {
+			name = fmt.Sprintf("%s_loop%d", fnName, kernels+1)
+		}
+		kernels++
+
+		fmt.Fprintf(&out, "__global__ void %s(%s) {\n", name, params)
+		fmt.Fprintf(&out, "  int %s = (%s) + blockIdx.x * blockDim.x + threadIdx.x;\n",
+			hdr.varName, hdr.initExpr)
+		fmt.Fprintf(&out, "  if (%s %s (%s)) {\n", hdr.varName, hdr.cmpOp, hdr.boundExpr)
+		for _, bl := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+			fmt.Fprintf(&out, "    %s\n", strings.TrimSpace(bl))
+		}
+		out.WriteString("  }\n}\n\n")
+
+		// Continue scanning after this pragma line; nested pragmas inside
+		// the translated body are not supported.
+		i = j + 1
+	}
+	if kernels == 0 {
+		return "", &CompileError{Line: 1, Col: 1,
+			Msg: "no #pragma acc parallel/kernels loop found"}
+	}
+	return out.String(), nil
+}
+
+func isAccPragma(line string) bool {
+	if !strings.HasPrefix(line, "#pragma") {
+		return false
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(line, "#pragma"))
+	if !strings.HasPrefix(rest, "acc") {
+		return false
+	}
+	return strings.Contains(rest, "loop")
+}
+
+// enclosingFunction scans backwards from the pragma for `void name(params) {`.
+func enclosingFunction(lines []string, pragmaIdx int) (name, params string, err error) {
+	for k := pragmaIdx - 1; k >= 0; k-- {
+		l := strings.TrimSpace(lines[k])
+		open := strings.Index(l, "(")
+		if open <= 0 || !strings.Contains(l, ")") {
+			continue
+		}
+		head := strings.TrimSpace(l[:open])
+		fields := strings.Fields(head)
+		if len(fields) < 2 || fields[0] != "void" {
+			continue
+		}
+		close := strings.LastIndex(l, ")")
+		return fields[len(fields)-1], strings.TrimSpace(l[open+1 : close]), nil
+	}
+	return "", "", &CompileError{Line: pragmaIdx + 1, Col: 1,
+		Msg: "#pragma acc loop is not inside a `void name(...)` function"}
+}
+
+type accLoopHeader struct {
+	varName   string
+	initExpr  string
+	cmpOp     string
+	boundExpr string
+}
+
+// parseAccLoop parses `for (int VAR = INIT; VAR < BOUND; VAR++) BODY`
+// textually, returning the header parts, the body source, and the number
+// of consumed bytes.
+func parseAccLoop(src string, line int) (accLoopHeader, string, int, error) {
+	var h accLoopHeader
+	bad := func(msg string) (accLoopHeader, string, int, error) {
+		return h, "", 0, &CompileError{Line: line, Col: 1,
+			Msg: "OpenACC loop must be canonical (`for (int i = a; i < b; i++)`): " + msg}
+	}
+	open := strings.Index(src, "(")
+	if open < 0 {
+		return bad("missing (")
+	}
+	depth := 0
+	closeIdx := -1
+	for i := open; i < len(src); i++ {
+		if src[i] == '(' {
+			depth++
+		}
+		if src[i] == ')' {
+			depth--
+			if depth == 0 {
+				closeIdx = i
+				break
+			}
+		}
+	}
+	if closeIdx < 0 {
+		return bad("missing )")
+	}
+	header := src[open+1 : closeIdx]
+	parts := splitTop(header, ';')
+	if len(parts) != 3 {
+		return bad("expected three clauses")
+	}
+
+	// init: `int VAR = EXPR`
+	init := strings.TrimSpace(parts[0])
+	if !strings.HasPrefix(init, "int ") {
+		return bad("loop variable must be declared `int`")
+	}
+	eq := strings.Index(init, "=")
+	if eq < 0 {
+		return bad("loop variable needs an initializer")
+	}
+	h.varName = strings.TrimSpace(init[4:eq])
+	h.initExpr = strings.TrimSpace(init[eq+1:])
+
+	// cond: `VAR < EXPR` or `VAR <= EXPR`
+	cond := strings.TrimSpace(parts[1])
+	switch {
+	case strings.HasPrefix(cond, h.varName+" <= "), strings.HasPrefix(cond, h.varName+"<="):
+		h.cmpOp = "<="
+	case strings.HasPrefix(cond, h.varName+" < "), strings.HasPrefix(cond, h.varName+"<"):
+		h.cmpOp = "<"
+	default:
+		return bad("condition must be `" + h.varName + " < bound`")
+	}
+	lt := strings.Index(cond, "<")
+	bound := cond[lt+1:]
+	bound = strings.TrimPrefix(bound, "=")
+	h.boundExpr = strings.TrimSpace(bound)
+
+	// step: VAR++ / ++VAR / VAR += 1
+	step := strings.ReplaceAll(strings.TrimSpace(parts[2]), " ", "")
+	if step != h.varName+"++" && step != "++"+h.varName && step != h.varName+"+=1" {
+		return bad("step must be `" + h.varName + "++`")
+	}
+
+	// Body: either a braced block or a single statement.
+	rest := src[closeIdx+1:]
+	k := 0
+	for k < len(rest) && (rest[k] == ' ' || rest[k] == '\n' || rest[k] == '\t' || rest[k] == '\r') {
+		k++
+	}
+	if k < len(rest) && rest[k] == '{' {
+		depth := 0
+		for i := k; i < len(rest); i++ {
+			if rest[i] == '{' {
+				depth++
+			}
+			if rest[i] == '}' {
+				depth--
+				if depth == 0 {
+					return h, rest[k+1 : i], closeIdx + 1 + i, nil
+				}
+			}
+		}
+		return bad("unterminated loop body")
+	}
+	semi := strings.Index(rest[k:], ";")
+	if semi < 0 {
+		return bad("missing loop body")
+	}
+	return h, rest[k : k+semi+1], closeIdx + 1 + k + semi + 1, nil
+}
+
+// splitTop splits s on sep at paren depth zero.
+func splitTop(s string, sep byte) []string {
+	var parts []string
+	depth := 0
+	last := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case sep:
+			if depth == 0 {
+				parts = append(parts, s[last:i])
+				last = i + 1
+			}
+		}
+	}
+	parts = append(parts, s[last:])
+	return parts
+}

@@ -1,0 +1,202 @@
+package minicuda
+
+import (
+	"strings"
+	"testing"
+
+	"webgpu/internal/gpusim"
+)
+
+const accVecAdd = `
+void vecadd(float *a, float *b, float *c, int n) {
+  #pragma acc parallel loop
+  for (int i = 0; i < n; i++) {
+    c[i] = a[i] + b[i];
+  }
+}
+`
+
+func TestTranslateOpenACCVecAdd(t *testing.T) {
+	cuda, err := TranslateOpenACC(accVecAdd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"__global__ void vecadd(", "blockIdx.x * blockDim.x + threadIdx.x",
+		"if (i < (n))"} {
+		if !strings.Contains(cuda, want) {
+			t.Errorf("translation missing %q:\n%s", want, cuda)
+		}
+	}
+}
+
+func TestOpenACCExecutesCorrectly(t *testing.T) {
+	prog, err := Compile(accVecAdd, DialectOpenACC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Dialect != DialectOpenACC {
+		t.Errorf("dialect = %v", prog.Dialect)
+	}
+	dev := gpusim.NewDefaultDevice()
+	n := 100
+	av := make([]float32, n)
+	bv := make([]float32, n)
+	for i := range av {
+		av[i] = float32(i)
+		bv[i] = 2
+	}
+	a, _ := dev.MallocFloat32(n, av)
+	b, _ := dev.MallocFloat32(n, bv)
+	c, _ := dev.Malloc(n * 4)
+	_, err = prog.Launch(dev, "vecadd",
+		LaunchOpts{Grid: gpusim.D1((n + 63) / 64), Block: gpusim.D1(64)},
+		FloatPtr(a), FloatPtr(b), FloatPtr(c), Int(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := dev.ReadFloat32(c, n)
+	for i := range got {
+		if got[i] != av[i]+2 {
+			t.Fatalf("c[%d] = %v", i, got[i])
+		}
+	}
+}
+
+func TestOpenACCClausesIgnored(t *testing.T) {
+	src := `
+void scale(float *x, int n) {
+  #pragma acc kernels loop gang vector(128) copyin(x[0:n])
+  for (int i = 0; i < n; i++) {
+    x[i] = x[i] * 2.0f;
+  }
+}
+`
+	prog, err := Compile(src, DialectOpenACC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Kernel("scale") == nil {
+		t.Fatal("kernel scale not generated")
+	}
+}
+
+func TestOpenACCMultipleLoops(t *testing.T) {
+	src := `
+void pipeline(float *x, float *y, int n) {
+  #pragma acc parallel loop
+  for (int i = 0; i < n; i++) {
+    x[i] = x[i] + 1.0f;
+  }
+  #pragma acc parallel loop
+  for (int j = 0; j < n; j++) {
+    y[j] = x[j] * 2.0f;
+  }
+}
+`
+	prog, err := Compile(src, DialectOpenACC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Kernel("pipeline") == nil || prog.Kernel("pipeline_loop2") == nil {
+		t.Fatalf("kernels = %v", prog.Kernels())
+	}
+	dev := gpusim.NewDefaultDevice()
+	n := 32
+	x, _ := dev.MallocFloat32(n, make([]float32, n))
+	y, _ := dev.Malloc(n * 4)
+	opts := LaunchOpts{Grid: gpusim.D1(1), Block: gpusim.D1(32)}
+	if _, err := prog.Launch(dev, "pipeline", opts, FloatPtr(x), FloatPtr(y), Int(n)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prog.Launch(dev, "pipeline_loop2", opts, FloatPtr(x), FloatPtr(y), Int(n)); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := dev.ReadFloat32(y, n)
+	for i := range got {
+		if got[i] != 2 {
+			t.Fatalf("y[%d] = %v, want 2", i, got[i])
+		}
+	}
+}
+
+func TestOpenACCLessEqualBound(t *testing.T) {
+	src := `
+void fill(int *x, int n) {
+  #pragma acc parallel loop
+  for (int i = 0; i <= n; i++) {
+    x[i] = i;
+  }
+}
+`
+	prog, err := Compile(src, DialectOpenACC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := gpusim.NewDefaultDevice()
+	x, _ := dev.Malloc(11 * 4)
+	if _, err := prog.Launch(dev, "fill",
+		LaunchOpts{Grid: gpusim.D1(1), Block: gpusim.D1(16)},
+		IntPtr(x), Int(10)); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := dev.ReadInt32(x, 11)
+	if got[10] != 10 {
+		t.Errorf("x[10] = %d", got[10])
+	}
+}
+
+func TestOpenACCSingleStatementBody(t *testing.T) {
+	src := `
+void twice(float *x, int n) {
+  #pragma acc parallel loop
+  for (int i = 0; i < n; i++)
+    x[i] = x[i] * 2.0f;
+}
+`
+	if _, err := Compile(src, DialectOpenACC); err != nil {
+		t.Fatalf("braceless body: %v", err)
+	}
+}
+
+func TestOpenACCDiagnostics(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"no pragma", `void f(float *x, int n) { }`, "no #pragma acc"},
+		{"pragma without loop", "void f(float *x, int n) {\n#pragma acc parallel loop\nx[0] = 1.0f;\n}", "must be followed by a for loop"},
+		{"non-canonical step", "void f(float *x, int n) {\n#pragma acc parallel loop\nfor (int i = 0; i < n; i += 2) { x[i] = 1.0f; }\n}", "canonical"},
+		{"float loop var", "void f(float *x, int n) {\n#pragma acc parallel loop\nfor (float i = 0; i < n; i++) { }\n}", "canonical"},
+		{"outside function", "#pragma acc parallel loop\nfor (int i = 0; i < 4; i++) { }\n", "not inside"},
+	}
+	for _, c := range cases {
+		_, err := Compile(c.src, DialectOpenACC)
+		if err == nil {
+			t.Errorf("%s: compiled unexpectedly", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestOpenACCMissingBoundStillGuarded(t *testing.T) {
+	// The generated kernel must carry the boundary guard so extra threads
+	// in the last block do not fault.
+	prog, err := Compile(accVecAdd, DialectOpenACC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := gpusim.NewDefaultDevice()
+	n := 10 // 1 block of 64 threads: 54 must be masked off
+	a, _ := dev.MallocFloat32(n, make([]float32, n))
+	b, _ := dev.MallocFloat32(n, make([]float32, n))
+	c, _ := dev.Malloc(n * 4)
+	if _, err := prog.Launch(dev, "vecadd",
+		LaunchOpts{Grid: gpusim.D1(1), Block: gpusim.D1(64)},
+		FloatPtr(a), FloatPtr(b), FloatPtr(c), Int(n)); err != nil {
+		t.Fatalf("masked threads faulted: %v", err)
+	}
+}

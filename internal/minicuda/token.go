@@ -1,0 +1,438 @@
+// Package minicuda implements a compiler and interpreter for the subset of
+// CUDA C (and, via a dialect switch, OpenCL C) that the WebGPU course labs
+// use. It stands in for the nvcc/OpenCL toolchains on the paper's worker
+// nodes: student-submitted kernel source is lexed, parsed, type checked,
+// and executed thread-per-thread on the gpusim device, so compile errors,
+// runtime faults, and performance behaviour all flow back through the
+// platform exactly as they would with a real toolchain.
+//
+// Supported language: int/unsigned/float/bool/char scalar types, pointers,
+// fixed-size (multi-dimensional) arrays, __global__/__device__ functions,
+// __shared__ and __constant__ memory, control flow (if/else, for, while,
+// do-while, break, continue, return), the CUDA builtin index variables,
+// __syncthreads, atomics, and a math builtin library. The OpenCL dialect
+// adds __kernel/__global/__local qualifiers and the get_global_id family.
+package minicuda
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokKind classifies a token.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokKeyword
+	TokIntLit
+	TokFloatLit
+	TokCharLit
+	TokStringLit
+	TokPunct
+)
+
+func (k TokKind) String() string {
+	switch k {
+	case TokEOF:
+		return "EOF"
+	case TokIdent:
+		return "identifier"
+	case TokKeyword:
+		return "keyword"
+	case TokIntLit:
+		return "integer literal"
+	case TokFloatLit:
+		return "float literal"
+	case TokCharLit:
+		return "char literal"
+	case TokStringLit:
+		return "string literal"
+	case TokPunct:
+		return "punctuation"
+	}
+	return "unknown"
+}
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	if t.Kind == TokEOF {
+		return "end of file"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+// Pos renders the token position for diagnostics.
+func (t Token) Pos() string { return fmt.Sprintf("%d:%d", t.Line, t.Col) }
+
+var keywords = map[string]bool{
+	"void": true, "int": true, "unsigned": true, "float": true, "double": true,
+	"bool": true, "char": true, "long": true, "short": true, "size_t": true,
+	"if": true, "else": true, "for": true, "while": true, "do": true,
+	"return": true, "break": true, "continue": true, "switch": true,
+	"case": true, "default": true, "goto": true,
+	"const": true, "static": true, "inline": true, "extern": true,
+	"struct": true, "union": true, "enum": true, "typedef": true, "sizeof": true,
+	"true": true, "false": true,
+	"__global__": true, "__device__": true, "__host__": true,
+	"__shared__": true, "__constant__": true, "__restrict__": true,
+	// OpenCL dialect keywords.
+	"__kernel": true, "__global": true, "__local": true, "__private": true,
+}
+
+// multi-character punctuation, longest first per leading byte.
+var punctTable = []string{
+	"<<=", ">>=", "...",
+	"==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--", "->",
+	"+", "-", "*", "/", "%", "=", "<", ">", "!", "&", "|", "^", "~",
+	"(", ")", "{", "}", "[", "]", ";", ",", ".", "?", ":",
+}
+
+// CompileError is a positioned diagnostic, formatted the way the web UI
+// shows compilation failures to students.
+type CompileError struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *CompileError) Error() string {
+	return fmt.Sprintf("%d:%d: error: %s", e.Line, e.Col, e.Msg)
+}
+
+func errAt(t Token, format string, args ...interface{}) error {
+	return &CompileError{Line: t.Line, Col: t.Col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Lex tokenizes source, stripping // and /* */ comments and preprocessor
+// lines (#include, #define of simple constants is handled by Preprocess).
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	n := len(src)
+	advance := func(k int) {
+		for j := 0; j < k; j++ {
+			if src[i] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+			i++
+		}
+	}
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				advance(1)
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			startLine, startCol := line, col
+			advance(2)
+			closed := false
+			for i+1 < n {
+				if src[i] == '*' && src[i+1] == '/' {
+					advance(2)
+					closed = true
+					break
+				}
+				advance(1)
+			}
+			if !closed {
+				return nil, &CompileError{Line: startLine, Col: startCol, Msg: "unterminated block comment"}
+			}
+		case c == '#':
+			// Preprocessor directives reach the lexer only if Preprocess was
+			// skipped; treat the rest of the line as blank.
+			for i < n && src[i] != '\n' {
+				advance(1)
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			startLine, startCol := line, col
+			j := i
+			for j < n && (isIdentChar(src[j])) {
+				j++
+			}
+			text := src[i:j]
+			kind := TokIdent
+			if keywords[text] {
+				kind = TokKeyword
+			}
+			toks = append(toks, Token{Kind: kind, Text: text, Line: startLine, Col: startCol})
+			advance(j - i)
+		case c >= '0' && c <= '9' || (c == '.' && i+1 < n && src[i+1] >= '0' && src[i+1] <= '9'):
+			tok, adv, err := lexNumber(src[i:], line, col)
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, tok)
+			advance(adv)
+		case c == '"':
+			startLine, startCol := line, col
+			j := i + 1
+			for j < n && src[j] != '"' {
+				if src[j] == '\\' {
+					j++
+				}
+				j++
+			}
+			if j >= n {
+				return nil, &CompileError{Line: startLine, Col: startCol, Msg: "unterminated string literal"}
+			}
+			toks = append(toks, Token{Kind: TokStringLit, Text: src[i+1 : j], Line: startLine, Col: startCol})
+			advance(j - i + 1)
+		case c == '\'':
+			startLine, startCol := line, col
+			j := i + 1
+			for j < n && src[j] != '\'' {
+				if src[j] == '\\' {
+					j++
+				}
+				j++
+			}
+			if j >= n {
+				return nil, &CompileError{Line: startLine, Col: startCol, Msg: "unterminated character literal"}
+			}
+			toks = append(toks, Token{Kind: TokCharLit, Text: src[i+1 : j], Line: startLine, Col: startCol})
+			advance(j - i + 1)
+		default:
+			matched := false
+			for _, p := range punctTable {
+				if strings.HasPrefix(src[i:], p) {
+					toks = append(toks, Token{Kind: TokPunct, Text: p, Line: line, Col: col})
+					advance(len(p))
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, &CompileError{Line: line, Col: col, Msg: fmt.Sprintf("unexpected character %q", c)}
+			}
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Line: line, Col: col})
+	return toks, nil
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+func lexNumber(s string, line, col int) (Token, int, error) {
+	j := 0
+	n := len(s)
+	isFloat := false
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		j = 2
+		for j < n && isHexDigit(s[j]) {
+			j++
+		}
+		for j < n && (s[j] == 'u' || s[j] == 'U' || s[j] == 'l' || s[j] == 'L') {
+			j++
+		}
+		return Token{Kind: TokIntLit, Text: s[:j], Line: line, Col: col}, j, nil
+	}
+	for j < n && s[j] >= '0' && s[j] <= '9' {
+		j++
+	}
+	if j < n && s[j] == '.' {
+		isFloat = true
+		j++
+		for j < n && s[j] >= '0' && s[j] <= '9' {
+			j++
+		}
+	}
+	if j < n && (s[j] == 'e' || s[j] == 'E') {
+		k := j + 1
+		if k < n && (s[k] == '+' || s[k] == '-') {
+			k++
+		}
+		if k < n && s[k] >= '0' && s[k] <= '9' {
+			isFloat = true
+			j = k
+			for j < n && s[j] >= '0' && s[j] <= '9' {
+				j++
+			}
+		}
+	}
+	if j < n && (s[j] == 'f' || s[j] == 'F') {
+		isFloat = true
+		j++
+	}
+	for j < n && (s[j] == 'u' || s[j] == 'U' || s[j] == 'l' || s[j] == 'L') {
+		j++
+	}
+	kind := TokIntLit
+	if isFloat {
+		kind = TokFloatLit
+	}
+	return Token{Kind: kind, Text: s[:j], Line: line, Col: col}, j, nil
+}
+
+func isHexDigit(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+
+// StripComments removes // line comments and /* */ block comments,
+// replacing them with spaces (newlines inside block comments are kept so
+// line numbers survive). Used by the preprocessed-mode blacklist scanner
+// and keyword grading, which must not match text inside comments (§III-D).
+func StripComments(src string) string {
+	var out strings.Builder
+	out.Grow(len(src))
+	i, n := 0, len(src)
+	for i < n {
+		switch {
+		case src[i] == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case src[i] == '/' && i+1 < n && src[i+1] == '*':
+			i += 2
+			for i+1 < n && !(src[i] == '*' && src[i+1] == '/') {
+				if src[i] == '\n' {
+					out.WriteByte('\n')
+				}
+				i++
+			}
+			if i+1 < n {
+				i += 2
+			} else {
+				i = n
+			}
+			out.WriteByte(' ')
+		case src[i] == '"':
+			out.WriteByte(src[i])
+			i++
+			for i < n && src[i] != '"' {
+				if src[i] == '\\' && i+1 < n {
+					out.WriteByte(src[i])
+					i++
+				}
+				out.WriteByte(src[i])
+				i++
+			}
+			if i < n {
+				out.WriteByte('"')
+				i++
+			}
+		default:
+			out.WriteByte(src[i])
+			i++
+		}
+	}
+	return out.String()
+}
+
+// Preprocess implements the tiny subset of the C preprocessor the labs
+// need: it strips #include lines, expands object-like #define NAME VALUE
+// macros (no function-like macros), honours #if 0 / #endif blocks used to
+// disable code, and removes comments. It returns the preprocessed source;
+// the sandbox blacklist can be run before (raw mode) or after
+// (preprocessed mode) this pass — the paper notes that scanning the raw
+// text rejects blacklisted identifiers inside comments, which preprocessed
+// scanning avoids.
+func Preprocess(src string) (string, error) {
+	macros := map[string]string{}
+	var out strings.Builder
+	skipDepth := 0
+	for ln, rawLine := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(rawLine)
+		switch {
+		case strings.HasPrefix(line, "#if"):
+			cond := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(line, "#ifdef"), "#if"))
+			if skipDepth > 0 || cond == "0" {
+				skipDepth++
+			} else if strings.HasPrefix(line, "#ifdef") {
+				if _, ok := macros[cond]; !ok {
+					skipDepth++
+				}
+			}
+			out.WriteByte('\n')
+		case strings.HasPrefix(line, "#endif"):
+			if skipDepth > 0 {
+				skipDepth--
+			}
+			out.WriteByte('\n')
+		case strings.HasPrefix(line, "#else"):
+			// #else of an active #if 0 enables; of an active block disables.
+			if skipDepth == 1 {
+				skipDepth = 0
+			} else if skipDepth == 0 {
+				skipDepth = 1
+			}
+			out.WriteByte('\n')
+		case skipDepth > 0:
+			out.WriteByte('\n')
+		case strings.HasPrefix(line, "#define"):
+			rest := strings.TrimSpace(strings.TrimPrefix(line, "#define"))
+			parts := strings.SplitN(rest, " ", 2)
+			if len(parts) == 0 || parts[0] == "" {
+				return "", &CompileError{Line: ln + 1, Col: 1, Msg: "malformed #define"}
+			}
+			if strings.Contains(parts[0], "(") {
+				return "", &CompileError{Line: ln + 1, Col: 1, Msg: "function-like macros are not supported"}
+			}
+			val := ""
+			if len(parts) == 2 {
+				val = strings.TrimSpace(parts[1])
+			}
+			macros[parts[0]] = val
+			out.WriteByte('\n')
+		case strings.HasPrefix(line, "#include"), strings.HasPrefix(line, "#pragma"),
+			strings.HasPrefix(line, "#undef"):
+			out.WriteByte('\n')
+		default:
+			out.WriteString(expandMacros(rawLine, macros))
+			out.WriteByte('\n')
+		}
+	}
+	return out.String(), nil
+}
+
+// expandMacros substitutes object-like macros at identifier boundaries,
+// one pass (no recursive expansion; course labs only use simple constants
+// like #define TILE_WIDTH 16).
+func expandMacros(line string, macros map[string]string) string {
+	if len(macros) == 0 {
+		return line
+	}
+	var out strings.Builder
+	i := 0
+	for i < len(line) {
+		c := line[i]
+		if unicode.IsLetter(rune(c)) || c == '_' {
+			j := i
+			for j < len(line) && isIdentChar(line[j]) {
+				j++
+			}
+			word := line[i:j]
+			if val, ok := macros[word]; ok {
+				out.WriteString(val)
+			} else {
+				out.WriteString(word)
+			}
+			i = j
+		} else {
+			out.WriteByte(c)
+			i++
+		}
+	}
+	return out.String()
+}

@@ -1,0 +1,58 @@
+package platform
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Status is the administrator-dashboard snapshot of §VI-A ("An
+// information dashboard is available to the system administrators to
+// track the system status").
+type Status struct {
+	Architecture  string
+	Workers       int
+	DBSeq         uint64
+	ReplicaLag    uint64 // v2
+	BrokerBacklog int    // v2: jobs waiting
+	BrokerStats   string // v2
+	StandbyDepth  int    // v2: mirrored jobs on the standby broker
+	Evictions     int64  // v1: workers dropped for missed health checks
+	GradebookRows int64
+}
+
+// Status captures the current system state.
+func (p *Platform) Status() Status {
+	s := Status{
+		Architecture:  p.Arch.String(),
+		Workers:       p.Workers(),
+		DBSeq:         p.DB.Seq(),
+		GradebookRows: p.Gradebook.Writes(),
+	}
+	switch p.Arch {
+	case V1:
+		s.Evictions = p.Registry.Evictions()
+	default:
+		s.ReplicaLag = p.Replica.Lag()
+		s.BrokerBacklog = p.Broker.Backlog("jobs")
+		s.BrokerStats = fmt.Sprintf("%+v", p.Broker.Stats())
+		s.StandbyDepth = p.StandbyBroker.Depth("jobs")
+	}
+	return s
+}
+
+// Render formats the snapshot as the dashboard text view.
+func (s Status) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "architecture:   %s\n", s.Architecture)
+	fmt.Fprintf(&sb, "workers:        %d\n", s.Workers)
+	fmt.Fprintf(&sb, "db commits:     %d\n", s.DBSeq)
+	fmt.Fprintf(&sb, "gradebook rows: %d\n", s.GradebookRows)
+	if s.BrokerStats != "" {
+		fmt.Fprintf(&sb, "broker backlog: %d (standby mirror depth %d)\n", s.BrokerBacklog, s.StandbyDepth)
+		fmt.Fprintf(&sb, "broker stats:   %s\n", s.BrokerStats)
+		fmt.Fprintf(&sb, "replica lag:    %d commits\n", s.ReplicaLag)
+	} else {
+		fmt.Fprintf(&sb, "evictions:      %d\n", s.Evictions)
+	}
+	return sb.String()
+}

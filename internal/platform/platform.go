@@ -1,0 +1,317 @@
+// Package platform composes the WebGPU system in both of the paper's
+// generations:
+//
+//   - V1 (§III, Figure 2): web server ¬ + database ­ + a registry of
+//     worker nodes ® that the web server pushes jobs to, with worker
+//     health checks and eviction.
+//   - V2 (§VI, Figures 6-7): front end + replicated message broker that
+//     autoscalable worker fleets poll, a replicated database, and a
+//     remote worker configuration service.
+//
+// Both expose the same student/instructor HTTP interface; tests and the
+// benchmark harness run identical flows against either.
+package platform
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"webgpu/internal/db"
+	"webgpu/internal/grader"
+	"webgpu/internal/labs"
+	"webgpu/internal/peerreview"
+	"webgpu/internal/queue"
+	"webgpu/internal/sandbox"
+	"webgpu/internal/webserver"
+	"webgpu/internal/worker"
+)
+
+// Architecture selects the system generation.
+type Architecture int
+
+// Architectures.
+const (
+	V1 Architecture = iota + 1
+	V2
+)
+
+func (a Architecture) String() string {
+	if a == V2 {
+		return "v2 (broker + polling workers)"
+	}
+	return "v1 (push dispatch)"
+}
+
+// Options configures a platform instance.
+type Options struct {
+	Arch          Architecture
+	Workers       int
+	GPUsPerWorker int
+	Course        labs.Course
+	ScanMode      sandbox.ScanMode
+	ReviewWeight  float64
+	DispatchWait  time.Duration // v2: how long to wait for a result
+}
+
+// Platform is a running WebGPU deployment.
+type Platform struct {
+	Arch      Architecture
+	DB        *db.DB
+	Replica   *db.Replica // v2 only
+	Server    *webserver.Server
+	Gradebook *grader.CourseraBook
+	Reviews   *peerreview.Store
+
+	// v1
+	Registry *worker.Registry
+
+	// v2
+	Broker        *queue.Broker
+	StandbyBroker *queue.Broker
+	ConfigServer  *worker.ConfigServer
+	Fleet         *worker.Fleet
+	router        *resultRouter
+
+	opts          Options
+	mu            sync.Mutex
+	v1Count       int
+	closed        bool
+	stopHeartbeat func()
+}
+
+// New builds and starts a platform.
+func New(opts Options) *Platform {
+	if opts.Arch == 0 {
+		opts.Arch = V2
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 2
+	}
+	if opts.GPUsPerWorker <= 0 {
+		opts.GPUsPerWorker = 2
+	}
+	if opts.Course == "" {
+		opts.Course = labs.CourseHPP
+	}
+	if opts.DispatchWait <= 0 {
+		opts.DispatchWait = 2 * time.Minute
+	}
+
+	p := &Platform{
+		Arch:      opts.Arch,
+		DB:        db.New(),
+		Gradebook: grader.NewCourseraBook(string(opts.Course)),
+		Reviews:   peerreview.NewStore(opts.ReviewWeight),
+		opts:      opts,
+	}
+
+	var dispatcher webserver.Dispatcher
+	switch opts.Arch {
+	case V1:
+		p.Registry = worker.NewRegistry(worker.DefaultHealthTTL)
+		for i := 0; i < opts.Workers; i++ {
+			p.Registry.Register(p.newNode(i + 1))
+		}
+		p.v1Count = opts.Workers
+		// In-process workers still send the §III-C health checks so a
+		// long-lived deployment does not evict its own (healthy) pool.
+		p.stopHeartbeat = p.Registry.StartHeartbeats(0)
+		dispatcher = webserver.DispatcherFunc(p.Registry.Dispatch)
+	default:
+		p.Broker = queue.NewBroker()
+		p.StandbyBroker = queue.NewBroker()
+		p.Broker.Mirror(p.StandbyBroker)
+		p.ConfigServer = worker.NewConfigServer(worker.DefaultConfig())
+		idx := 0
+		p.Fleet = worker.NewFleet(p.Broker, p.ConfigServer, func(id string) *worker.Node {
+			idx++
+			return p.newNode(idx)
+		})
+		p.Fleet.Scale(opts.Workers)
+		p.Replica = db.NewReplica(p.DB)
+		p.router = newResultRouter(p.Broker)
+		dispatcher = webserver.DispatcherFunc(func(job *worker.Job) (*worker.Result, error) {
+			return p.dispatchV2(job)
+		})
+	}
+
+	p.Server = webserver.New(webserver.Config{
+		DB:         p.DB,
+		Dispatcher: dispatcher,
+		Gradebook:  p.Gradebook,
+		Reviews:    p.Reviews,
+		Course:     opts.Course,
+	})
+	return p
+}
+
+func (p *Platform) newNode(i int) *worker.Node {
+	cfg := worker.DefaultNodeConfig(fmt.Sprintf("worker-%03d", i))
+	cfg.GPUs = p.opts.GPUsPerWorker
+	cfg.ScanMode = p.opts.ScanMode
+	return worker.NewNode(cfg)
+}
+
+// Handler returns the HTTP handler of the web tier.
+func (p *Platform) Handler() http.Handler { return p.Server.Handler() }
+
+// Scale adjusts the worker count: replacing the pool in v1, resizing the
+// fleet in v2. This is the operation the paper performed the day before
+// each deadline ("We increased the number of GPUs available to WebGPU the
+// day before the deadline", §III).
+func (p *Platform) Scale(n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch p.Arch {
+	case V1:
+		for p.v1Count < n {
+			p.v1Count++
+			p.Registry.Register(p.newNode(p.v1Count))
+		}
+		for p.v1Count > n && p.v1Count > 0 {
+			p.Registry.Deregister(fmt.Sprintf("worker-%03d", p.v1Count))
+			p.v1Count--
+		}
+	default:
+		p.Fleet.Scale(n)
+	}
+}
+
+// Workers reports the current worker count.
+func (p *Platform) Workers() int {
+	switch p.Arch {
+	case V1:
+		return p.Registry.Size()
+	default:
+		return p.Fleet.Size()
+	}
+}
+
+// Close shuts the platform down.
+func (p *Platform) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	if p.stopHeartbeat != nil {
+		p.stopHeartbeat()
+	}
+	if p.Fleet != nil {
+		p.Fleet.Stop()
+	}
+	if p.router != nil {
+		p.router.stop()
+	}
+	if p.Replica != nil {
+		p.Replica.Stop()
+	}
+	if p.Broker != nil {
+		p.Broker.Close()
+	}
+	if p.StandbyBroker != nil {
+		p.StandbyBroker.Close()
+	}
+	p.DB.Close()
+}
+
+// dispatchV2 publishes the job to the broker with the lab's requirement
+// tags and waits for the matching result.
+func (p *Platform) dispatchV2(job *worker.Job) (*worker.Result, error) {
+	waiter := p.router.register(job.ID)
+	if _, err := p.Broker.Publish(worker.TopicJobs, worker.EncodeJob(job), job.Requirements...); err != nil {
+		p.router.unregister(job.ID)
+		return nil, err
+	}
+	select {
+	case res := <-waiter:
+		return res, nil
+	case <-time.After(p.opts.DispatchWait):
+		p.router.unregister(job.ID)
+		return nil, errors.New("platform: timed out waiting for a worker result")
+	}
+}
+
+// resultRouter pumps the results topic and hands each result to the
+// goroutine waiting on its job ID.
+type resultRouter struct {
+	broker  *queue.Broker
+	mu      sync.Mutex
+	waiters map[string]chan *worker.Result
+	stopCh  chan struct{}
+	doneCh  chan struct{}
+}
+
+func newResultRouter(b *queue.Broker) *resultRouter {
+	rr := &resultRouter{
+		broker:  b,
+		waiters: map[string]chan *worker.Result{},
+		stopCh:  make(chan struct{}),
+		doneCh:  make(chan struct{}),
+	}
+	go rr.loop()
+	return rr
+}
+
+func (rr *resultRouter) register(jobID string) chan *worker.Result {
+	ch := make(chan *worker.Result, 1)
+	rr.mu.Lock()
+	rr.waiters[jobID] = ch
+	rr.mu.Unlock()
+	return ch
+}
+
+func (rr *resultRouter) unregister(jobID string) {
+	rr.mu.Lock()
+	delete(rr.waiters, jobID)
+	rr.mu.Unlock()
+}
+
+func (rr *resultRouter) loop() {
+	defer close(rr.doneCh)
+	caps := map[string]bool{}
+	for {
+		select {
+		case <-rr.stopCh:
+			return
+		default:
+		}
+		d, ok, err := rr.broker.Poll(worker.TopicResults, "web-tier", caps, time.Minute)
+		if err != nil {
+			return
+		}
+		if !ok {
+			select {
+			case <-rr.stopCh:
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+			continue
+		}
+		res, derr := worker.DecodeResult(d.Msg.Payload)
+		if derr != nil {
+			_ = d.Nack()
+			continue
+		}
+		rr.mu.Lock()
+		ch, found := rr.waiters[res.JobID]
+		if found {
+			delete(rr.waiters, res.JobID)
+		}
+		rr.mu.Unlock()
+		if found {
+			ch <- res
+		}
+		_ = d.Ack()
+	}
+}
+
+func (rr *resultRouter) stop() {
+	close(rr.stopCh)
+	<-rr.doneCh
+}

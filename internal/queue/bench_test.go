@@ -1,0 +1,65 @@
+package queue
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkPublishPollAck(b *testing.B) {
+	br := NewBroker()
+	caps := map[string]bool{"cuda": true}
+	payload := make([]byte, 512)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := br.Publish("jobs", payload); err != nil {
+			b.Fatal(err)
+		}
+		d, ok, err := br.Poll("jobs", "w", caps, time.Minute)
+		if err != nil || !ok {
+			b.Fatal("poll failed")
+		}
+		if err := d.Ack(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPollSkipsTaggedBacklog(b *testing.B) {
+	br := NewBroker()
+	// A backlog of jobs this consumer cannot take, plus one it can.
+	for i := 0; i < 256; i++ {
+		if _, err := br.Publish("jobs", nil, "mpi"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	caps := map[string]bool{"cuda": true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := br.Publish("jobs", nil); err != nil {
+			b.Fatal(err)
+		}
+		d, ok, err := br.Poll("jobs", "w", caps, time.Minute)
+		if err != nil || !ok {
+			b.Fatal("poll failed")
+		}
+		_ = d.Ack()
+	}
+}
+
+func BenchmarkDepthWithInflight(b *testing.B) {
+	br := NewBroker()
+	caps := map[string]bool{}
+	for i := 0; i < 128; i++ {
+		_, _ = br.Publish("jobs", nil)
+	}
+	for i := 0; i < 64; i++ {
+		_, _, _ = br.Poll("jobs", "w", caps, time.Hour)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := br.Depth("jobs"); got != 128 {
+			b.Fatalf("depth = %d", got)
+		}
+	}
+}

@@ -1,0 +1,325 @@
+// Package queue implements the message broker of the WebGPU 2.0
+// architecture (§VI-A): topics of durable messages that worker nodes
+// *poll* (rather than having jobs pushed at them), requirement tags so a
+// lab needing MPI or multiple GPUs is only handed to a capable worker,
+// visibility timeouts with redelivery for at-least-once semantics, a
+// dead-letter queue for poison messages, and mirroring to a standby
+// broker in another availability zone.
+package queue
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Errors.
+var (
+	ErrClosed  = errors.New("queue: broker closed")
+	ErrUnknown = errors.New("queue: unknown delivery")
+)
+
+// Message is one queued job or result.
+type Message struct {
+	ID       string
+	Topic    string
+	Payload  []byte
+	Tags     []string // requirements: every tag must be in the consumer's capability set
+	Enqueued time.Time
+	Attempts int
+}
+
+// DefaultMaxAttempts moves a message to the dead-letter queue after this
+// many failed deliveries.
+const DefaultMaxAttempts = 5
+
+type pending struct {
+	msg       *Message
+	visibleAt time.Time // zero = visible now
+}
+
+type inflight struct {
+	msg      *Message
+	deadline time.Time
+	consumer string
+}
+
+// Broker is a topic-based message broker.
+type Broker struct {
+	mu          sync.Mutex
+	closed      bool
+	nextID      int
+	topics      map[string][]*pending
+	inflight    map[string]*inflight // delivery tag -> message
+	dead        []*Message
+	maxAttempts int
+	clock       func() time.Time
+
+	mirror *Broker // standby in another availability zone
+
+	stats struct {
+		published   int64
+		delivered   int64
+		acked       int64
+		nacked      int64
+		redelivered int64
+		deadLetters int64
+	}
+}
+
+// NewBroker creates an empty broker.
+func NewBroker() *Broker {
+	return &Broker{
+		topics:      map[string][]*pending{},
+		inflight:    map[string]*inflight{},
+		maxAttempts: DefaultMaxAttempts,
+		clock:       time.Now,
+	}
+}
+
+// SetClock overrides the time source (tests).
+func (b *Broker) SetClock(clock func() time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.clock = clock
+}
+
+// SetMaxAttempts adjusts the dead-letter threshold.
+func (b *Broker) SetMaxAttempts(n int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maxAttempts = n
+}
+
+// Mirror attaches a standby broker that receives a copy of every publish
+// (§VI-A: the broker "can be replicated across Amazon availability zones
+// — offering resiliency against faults").
+func (b *Broker) Mirror(standby *Broker) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.mirror = standby
+}
+
+// Close shuts the broker down.
+func (b *Broker) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.closed = true
+}
+
+// Publish enqueues a payload on a topic with requirement tags, returning
+// the message ID.
+func (b *Broker) Publish(topic string, payload []byte, tags ...string) (string, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return "", ErrClosed
+	}
+	b.nextID++
+	id := fmt.Sprintf("msg-%08d", b.nextID)
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	msg := &Message{ID: id, Topic: topic, Payload: cp, Tags: append([]string(nil), tags...),
+		Enqueued: b.clock()}
+	b.topics[topic] = append(b.topics[topic], &pending{msg: msg})
+	b.stats.published++
+	if b.mirror != nil {
+		m := b.mirror
+		// Mirror synchronously outside our lock would deadlock on shared
+		// clocks in tests; the mirror has its own lock, ordering is
+		// one-directional so this is safe.
+		go func() { _, _ = m.Publish(topic, cp, tags...) }()
+	}
+	return id, nil
+}
+
+// Delivery is a leased message; the consumer must Ack or Nack it before
+// the visibility deadline or it is redelivered.
+type Delivery struct {
+	Msg *Message
+	Tag string
+	b   *Broker
+}
+
+// Poll attempts to lease the oldest visible message on the topic whose
+// tags are all satisfied by the consumer's capability set. It returns
+// (nil, false, nil) when nothing matches — the §VI-A semantics of "worker
+// nodes poll the queue, accepting a job if the node meets the job
+// requirements".
+func (b *Broker) Poll(topic, consumer string, caps map[string]bool, visibility time.Duration) (*Delivery, bool, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, false, ErrClosed
+	}
+	now := b.clock()
+	b.expireLocked(now)
+	queue := b.topics[topic]
+	for i, p := range queue {
+		if p.visibleAt.After(now) {
+			continue
+		}
+		if !tagsSatisfied(p.msg.Tags, caps) {
+			continue
+		}
+		// Lease it.
+		b.topics[topic] = append(append([]*pending{}, queue[:i]...), queue[i+1:]...)
+		p.msg.Attempts++
+		tag := fmt.Sprintf("%s#%d", p.msg.ID, p.msg.Attempts)
+		b.inflight[tag] = &inflight{msg: p.msg, deadline: now.Add(visibility), consumer: consumer}
+		b.stats.delivered++
+		if p.msg.Attempts > 1 {
+			b.stats.redelivered++
+		}
+		return &Delivery{Msg: p.msg, Tag: tag, b: b}, true, nil
+	}
+	return nil, false, nil
+}
+
+func tagsSatisfied(tags []string, caps map[string]bool) bool {
+	for _, t := range tags {
+		if !caps[t] {
+			return false
+		}
+	}
+	return true
+}
+
+// expireLocked returns timed-out in-flight messages to their topics (or
+// the dead-letter queue).
+func (b *Broker) expireLocked(now time.Time) {
+	for tag, inf := range b.inflight {
+		if now.Before(inf.deadline) {
+			continue
+		}
+		delete(b.inflight, tag)
+		b.requeueLocked(inf.msg)
+	}
+}
+
+func (b *Broker) requeueLocked(msg *Message) {
+	if msg.Attempts >= b.maxAttempts {
+		b.dead = append(b.dead, msg)
+		b.stats.deadLetters++
+		return
+	}
+	b.topics[msg.Topic] = append(b.topics[msg.Topic], &pending{msg: msg})
+}
+
+// Ack completes a delivery; the message is gone.
+func (d *Delivery) Ack() error {
+	b := d.b
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.inflight[d.Tag]; !ok {
+		return fmt.Errorf("%w: %s (already acked, nacked, or expired)", ErrUnknown, d.Tag)
+	}
+	delete(b.inflight, d.Tag)
+	b.stats.acked++
+	return nil
+}
+
+// Nack returns the message to its topic immediately (or dead-letters it
+// after too many attempts).
+func (d *Delivery) Nack() error {
+	b := d.b
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	inf, ok := b.inflight[d.Tag]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknown, d.Tag)
+	}
+	delete(b.inflight, d.Tag)
+	b.stats.nacked++
+	b.requeueLocked(inf.msg)
+	return nil
+}
+
+// Depth reports visible plus leased messages on a topic.
+func (b *Broker) Depth(topic string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.expireLocked(b.clock())
+	n := len(b.topics[topic])
+	for _, inf := range b.inflight {
+		if inf.msg.Topic == topic {
+			n++
+		}
+	}
+	return n
+}
+
+// Backlog reports only the visible (not leased) messages on a topic; the
+// autoscaler watches this.
+func (b *Broker) Backlog(topic string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.expireLocked(b.clock())
+	return len(b.topics[topic])
+}
+
+// OldestAge returns how long the oldest visible message has waited, or
+// zero when the topic is empty.
+func (b *Broker) OldestAge(topic string) time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.clock()
+	b.expireLocked(now)
+	var oldest time.Time
+	for _, p := range b.topics[topic] {
+		if oldest.IsZero() || p.msg.Enqueued.Before(oldest) {
+			oldest = p.msg.Enqueued
+		}
+	}
+	if oldest.IsZero() {
+		return 0
+	}
+	return now.Sub(oldest)
+}
+
+// RedriveDeadLetters moves dead-lettered messages back onto their topics
+// with a reset attempt count (the SQS redrive an operator runs after
+// fixing the fault that poisoned them). It returns how many messages were
+// redriven.
+func (b *Broker) RedriveDeadLetters() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := len(b.dead)
+	for _, msg := range b.dead {
+		msg.Attempts = 0
+		b.topics[msg.Topic] = append(b.topics[msg.Topic], &pending{msg: msg})
+	}
+	b.dead = nil
+	return n
+}
+
+// DeadLetters returns a copy of the dead-letter queue.
+func (b *Broker) DeadLetters() []*Message {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]*Message, len(b.dead))
+	copy(out, b.dead)
+	return out
+}
+
+// Stats is a snapshot of broker counters.
+type Stats struct {
+	Published, Delivered, Acked, Nacked, Redelivered, DeadLetters int64
+	Inflight                                                      int
+}
+
+// Stats returns a snapshot of the broker's counters.
+func (b *Broker) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return Stats{
+		Published:   b.stats.published,
+		Delivered:   b.stats.delivered,
+		Acked:       b.stats.acked,
+		Nacked:      b.stats.nacked,
+		Redelivered: b.stats.redelivered,
+		DeadLetters: b.stats.deadLetters,
+		Inflight:    len(b.inflight),
+	}
+}

@@ -1,0 +1,127 @@
+package wb
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Timer categories, mirroring libwb's wbTime tags.
+const (
+	TimeGeneric = "Generic"
+	TimeGPU     = "GPU"
+	TimeCopy    = "Copy"
+	TimeCompute = "Compute"
+)
+
+// Log levels, mirroring wbLog.
+const (
+	LevelTrace = "TRACE"
+	LevelDebug = "DEBUG"
+	LevelInfo  = "INFO"
+	LevelWarn  = "WARN"
+	LevelError = "ERROR"
+)
+
+// LogEvent is one wbLog line.
+type LogEvent struct {
+	Level   string
+	Message string
+	At      time.Time
+}
+
+// TimerSpan is one wbTime start/stop pair.
+type TimerSpan struct {
+	Category string
+	Message  string
+	Elapsed  time.Duration
+}
+
+// Trace collects the wbLog/wbTime output of one lab run; it is returned to
+// the student alongside the correctness result. Safe for concurrent use.
+type Trace struct {
+	mu     sync.Mutex
+	logs   []LogEvent
+	spans  []TimerSpan
+	opened map[string]time.Time
+	clock  func() time.Time
+}
+
+// NewTrace creates an empty trace.
+func NewTrace() *Trace {
+	return &Trace{opened: make(map[string]time.Time), clock: time.Now}
+}
+
+// SetClock overrides the time source (tests).
+func (t *Trace) SetClock(clock func() time.Time) { t.clock = clock }
+
+// Logf records a log line at the given level.
+func (t *Trace) Logf(level, format string, args ...interface{}) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.logs = append(t.logs, LogEvent{Level: level, Message: fmt.Sprintf(format, args...), At: t.clock()})
+}
+
+// Start opens a timer span, keyed by category+message as in wbTime_start.
+func (t *Trace) Start(category, message string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.opened[category+"\x00"+message] = t.clock()
+}
+
+// Stop closes a timer span and records its duration. Stopping a span that
+// was never started records a zero-length span (matching libwb's lenient
+// behaviour).
+func (t *Trace) Stop(category, message string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	key := category + "\x00" + message
+	var elapsed time.Duration
+	if start, ok := t.opened[key]; ok {
+		elapsed = t.clock().Sub(start)
+		delete(t.opened, key)
+	}
+	t.spans = append(t.spans, TimerSpan{Category: category, Message: message, Elapsed: elapsed})
+}
+
+// RecordSpan records an externally-measured span, e.g. the simulated GPU
+// time of a kernel launch.
+func (t *Trace) RecordSpan(category, message string, elapsed time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.spans = append(t.spans, TimerSpan{Category: category, Message: message, Elapsed: elapsed})
+}
+
+// Logs returns a copy of the recorded log events.
+func (t *Trace) Logs() []LogEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]LogEvent, len(t.logs))
+	copy(out, t.logs)
+	return out
+}
+
+// Spans returns a copy of the recorded timer spans.
+func (t *Trace) Spans() []TimerSpan {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TimerSpan, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// String renders the trace the way lab output is shown in the Attempts
+// view.
+func (t *Trace) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var sb strings.Builder
+	for _, l := range t.logs {
+		fmt.Fprintf(&sb, "[%s] %s\n", l.Level, l.Message)
+	}
+	for _, s := range t.spans {
+		fmt.Fprintf(&sb, "[TIME] %s: %v (%s)\n", s.Category, s.Elapsed, s.Message)
+	}
+	return sb.String()
+}

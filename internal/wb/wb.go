@@ -1,0 +1,506 @@
+// Package wb is the Go equivalent of libwb, the WebGPU support library
+// (https://github.com/abduld/libwb) that course lab harnesses link against.
+// It provides the dataset file formats instructors ship with labs, import
+// and export helpers, the wbTime/wbLog instrumentation students see in
+// their lab output, and tolerance-based solution checking.
+package wb
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// File is a named dataset file (input or expected output).
+type File struct {
+	Name string
+	Data []byte
+}
+
+// Dataset is one test dataset of a lab: instructor-provided inputs plus the
+// expected output used for correctness checking (§IV-E).
+type Dataset struct {
+	ID       int
+	Name     string
+	Inputs   []File
+	Expected File
+}
+
+// Input returns the named input file's bytes, or nil.
+func (d *Dataset) Input(name string) []byte {
+	for _, f := range d.Inputs {
+		if f.Name == name {
+			return f.Data
+		}
+	}
+	return nil
+}
+
+// ---- Raw text formats --------------------------------------------------------
+
+// ExportVector writes a float vector in the .raw format: a count line then
+// one value per line.
+func ExportVector(w io.Writer, xs []float32) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%d\n", len(xs))
+	for _, x := range xs {
+		fmt.Fprintf(bw, "%g\n", x)
+	}
+	return bw.Flush()
+}
+
+// ImportVector reads a .raw float vector.
+func ImportVector(r io.Reader) ([]float32, error) {
+	sc := newScanner(r)
+	n, err := sc.int()
+	if err != nil {
+		return nil, fmt.Errorf("wb: vector header: %w", err)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("wb: negative vector length %d", n)
+	}
+	xs := make([]float32, n)
+	for i := range xs {
+		f, err := sc.float()
+		if err != nil {
+			return nil, fmt.Errorf("wb: vector element %d: %w", i, err)
+		}
+		xs[i] = f
+	}
+	return xs, nil
+}
+
+// ExportMatrix writes a row-major float matrix with a "rows cols" header.
+func ExportMatrix(w io.Writer, m []float32, rows, cols int) error {
+	if len(m) != rows*cols {
+		return fmt.Errorf("wb: matrix data %d != %d x %d", len(m), rows, cols)
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%d %d\n", rows, cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c > 0 {
+				bw.WriteByte(' ')
+			}
+			fmt.Fprintf(bw, "%g", m[r*cols+c])
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// ImportMatrix reads a row-major float matrix, returning data and its
+// dimensions.
+func ImportMatrix(r io.Reader) ([]float32, int, int, error) {
+	sc := newScanner(r)
+	rows, err := sc.int()
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("wb: matrix rows: %w", err)
+	}
+	cols, err := sc.int()
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("wb: matrix cols: %w", err)
+	}
+	if rows < 0 || cols < 0 {
+		return nil, 0, 0, fmt.Errorf("wb: negative matrix dims %dx%d", rows, cols)
+	}
+	m := make([]float32, rows*cols)
+	for i := range m {
+		f, err := sc.float()
+		if err != nil {
+			return nil, 0, 0, fmt.Errorf("wb: matrix element %d: %w", i, err)
+		}
+		m[i] = f
+	}
+	return m, rows, cols, nil
+}
+
+// ExportImage writes a grayscale 8-bit image in a PPM-like text format:
+// "width height 255" then one pixel value per whitespace-separated token.
+func ExportImage(w io.Writer, pix []byte, width, height int) error {
+	if len(pix) != width*height {
+		return fmt.Errorf("wb: image data %d != %d x %d", len(pix), width, height)
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%d %d 255\n", width, height)
+	for i, p := range pix {
+		if i > 0 {
+			if i%width == 0 {
+				bw.WriteByte('\n')
+			} else {
+				bw.WriteByte(' ')
+			}
+		}
+		fmt.Fprintf(bw, "%d", p)
+	}
+	bw.WriteByte('\n')
+	return bw.Flush()
+}
+
+// ImportImage reads the grayscale image format.
+func ImportImage(r io.Reader) ([]byte, int, int, error) {
+	sc := newScanner(r)
+	w, err := sc.int()
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("wb: image width: %w", err)
+	}
+	h, err := sc.int()
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("wb: image height: %w", err)
+	}
+	maxV, err := sc.int()
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("wb: image maxval: %w", err)
+	}
+	if maxV != 255 {
+		return nil, 0, 0, fmt.Errorf("wb: unsupported image maxval %d", maxV)
+	}
+	pix := make([]byte, w*h)
+	for i := range pix {
+		v, err := sc.int()
+		if err != nil {
+			return nil, 0, 0, fmt.Errorf("wb: pixel %d: %w", i, err)
+		}
+		if v < 0 || v > 255 {
+			return nil, 0, 0, fmt.Errorf("wb: pixel %d out of range: %d", i, v)
+		}
+		pix[i] = byte(v)
+	}
+	return pix, w, h, nil
+}
+
+// ExportIntVector writes an int32 vector (count header then values).
+func ExportIntVector(w io.Writer, xs []int32) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%d\n", len(xs))
+	for _, x := range xs {
+		fmt.Fprintf(bw, "%d\n", x)
+	}
+	return bw.Flush()
+}
+
+// ImportIntVector reads an int32 vector.
+func ImportIntVector(r io.Reader) ([]int32, error) {
+	sc := newScanner(r)
+	n, err := sc.int()
+	if err != nil {
+		return nil, fmt.Errorf("wb: int vector header: %w", err)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("wb: negative vector length %d", n)
+	}
+	xs := make([]int32, n)
+	for i := range xs {
+		v, err := sc.int()
+		if err != nil {
+			return nil, fmt.Errorf("wb: int element %d: %w", i, err)
+		}
+		xs[i] = int32(v)
+	}
+	return xs, nil
+}
+
+// CSR is a sparse matrix in compressed-sparse-row form, as used by the
+// SPMV lab.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int32 // len Rows+1
+	ColIdx     []int32 // len nnz
+	Vals       []float32
+}
+
+// ExportCSR writes the CSR text format: "rows cols nnz" then the three
+// arrays, one per line group.
+func ExportCSR(w io.Writer, m *CSR) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%d %d %d\n", m.Rows, m.Cols, len(m.Vals))
+	for _, v := range m.RowPtr {
+		fmt.Fprintf(bw, "%d ", v)
+	}
+	bw.WriteByte('\n')
+	for _, v := range m.ColIdx {
+		fmt.Fprintf(bw, "%d ", v)
+	}
+	bw.WriteByte('\n')
+	for _, v := range m.Vals {
+		fmt.Fprintf(bw, "%g ", v)
+	}
+	bw.WriteByte('\n')
+	return bw.Flush()
+}
+
+// ImportCSR reads the CSR text format.
+func ImportCSR(r io.Reader) (*CSR, error) {
+	sc := newScanner(r)
+	rows, err := sc.int()
+	if err != nil {
+		return nil, fmt.Errorf("wb: csr rows: %w", err)
+	}
+	cols, err := sc.int()
+	if err != nil {
+		return nil, fmt.Errorf("wb: csr cols: %w", err)
+	}
+	nnz, err := sc.int()
+	if err != nil {
+		return nil, fmt.Errorf("wb: csr nnz: %w", err)
+	}
+	if rows < 0 || cols < 0 || nnz < 0 {
+		return nil, fmt.Errorf("wb: invalid csr header %d %d %d", rows, cols, nnz)
+	}
+	m := &CSR{Rows: rows, Cols: cols,
+		RowPtr: make([]int32, rows+1), ColIdx: make([]int32, nnz), Vals: make([]float32, nnz)}
+	for i := range m.RowPtr {
+		v, err := sc.int()
+		if err != nil {
+			return nil, fmt.Errorf("wb: csr rowptr %d: %w", i, err)
+		}
+		m.RowPtr[i] = int32(v)
+	}
+	for i := range m.ColIdx {
+		v, err := sc.int()
+		if err != nil {
+			return nil, fmt.Errorf("wb: csr colidx %d: %w", i, err)
+		}
+		m.ColIdx[i] = int32(v)
+	}
+	for i := range m.Vals {
+		v, err := sc.float()
+		if err != nil {
+			return nil, fmt.Errorf("wb: csr val %d: %w", i, err)
+		}
+		m.Vals[i] = v
+	}
+	return m, nil
+}
+
+// MulVec multiplies the CSR matrix by x (the SPMV oracle).
+func (m *CSR) MulVec(x []float32) []float32 {
+	y := make([]float32, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		var acc float32
+		for i := m.RowPtr[r]; i < m.RowPtr[r+1]; i++ {
+			acc += m.Vals[i] * x[m.ColIdx[i]]
+		}
+		y[r] = acc
+	}
+	return y
+}
+
+// ---- Token scanner -------------------------------------------------------------
+
+type scanner struct {
+	sc *bufio.Scanner
+}
+
+func newScanner(r io.Reader) *scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	sc.Split(bufio.ScanWords)
+	return &scanner{sc: sc}
+}
+
+func (s *scanner) word() (string, error) {
+	if !s.sc.Scan() {
+		if err := s.sc.Err(); err != nil {
+			return "", err
+		}
+		return "", io.ErrUnexpectedEOF
+	}
+	return s.sc.Text(), nil
+}
+
+func (s *scanner) int() (int, error) {
+	w, err := s.word()
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.Atoi(w)
+	if err != nil {
+		return 0, fmt.Errorf("bad integer %q", w)
+	}
+	return v, nil
+}
+
+func (s *scanner) float() (float32, error) {
+	w, err := s.word()
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseFloat(w, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad float %q", w)
+	}
+	return float32(v), nil
+}
+
+// ---- Solution checking ----------------------------------------------------------
+
+// DefaultTolerance mirrors libwb's wbSolution threshold.
+const DefaultTolerance = 1e-2
+
+// CheckResult reports the outcome of comparing a program's output to the
+// expected dataset.
+type CheckResult struct {
+	Correct    bool
+	Total      int
+	Mismatches int
+	FirstBad   int    // index of the first mismatch, -1 if none
+	Message    string // student-facing explanation
+}
+
+// CompareFloats checks got against want element-wise with a combined
+// absolute/relative tolerance.
+func CompareFloats(got, want []float32, tol float64) CheckResult {
+	if len(got) != len(want) {
+		return CheckResult{
+			Correct:  false,
+			Total:    len(want),
+			FirstBad: -1,
+			Message: fmt.Sprintf("The solution has %d elements but the expected output has %d.",
+				len(got), len(want)),
+		}
+	}
+	res := CheckResult{Correct: true, Total: len(want), FirstBad: -1}
+	for i := range want {
+		a, b := float64(got[i]), float64(want[i])
+		if math.IsNaN(a) || math.Abs(a-b) > tol+tol*math.Abs(b) {
+			res.Mismatches++
+			if res.FirstBad < 0 {
+				res.FirstBad = i
+				res.Message = fmt.Sprintf(
+					"The solution did not match the expected results at element %d: got %g, expected %g.",
+					i, got[i], want[i])
+			}
+			res.Correct = false
+		}
+	}
+	if res.Correct {
+		res.Message = "Solution is correct."
+	}
+	return res
+}
+
+// CompareInts checks int32 outputs exactly.
+func CompareInts(got, want []int32) CheckResult {
+	if len(got) != len(want) {
+		return CheckResult{
+			Correct:  false,
+			Total:    len(want),
+			FirstBad: -1,
+			Message: fmt.Sprintf("The solution has %d elements but the expected output has %d.",
+				len(got), len(want)),
+		}
+	}
+	res := CheckResult{Correct: true, Total: len(want), FirstBad: -1}
+	for i := range want {
+		if got[i] != want[i] {
+			res.Mismatches++
+			if res.FirstBad < 0 {
+				res.FirstBad = i
+				res.Message = fmt.Sprintf(
+					"The solution did not match the expected results at element %d: got %d, expected %d.",
+					i, got[i], want[i])
+			}
+			res.Correct = false
+		}
+	}
+	if res.Correct {
+		res.Message = "Solution is correct."
+	}
+	return res
+}
+
+// CompareBytes checks byte outputs (images) with a +-1 quantization slack,
+// as image equalization results may round differently.
+func CompareBytes(got, want []byte, slack int) CheckResult {
+	if len(got) != len(want) {
+		return CheckResult{
+			Correct:  false,
+			Total:    len(want),
+			FirstBad: -1,
+			Message: fmt.Sprintf("The solution has %d elements but the expected output has %d.",
+				len(got), len(want)),
+		}
+	}
+	res := CheckResult{Correct: true, Total: len(want), FirstBad: -1}
+	for i := range want {
+		d := int(got[i]) - int(want[i])
+		if d < -slack || d > slack {
+			res.Mismatches++
+			if res.FirstBad < 0 {
+				res.FirstBad = i
+				res.Message = fmt.Sprintf(
+					"The solution did not match the expected results at element %d: got %d, expected %d.",
+					i, got[i], want[i])
+			}
+			res.Correct = false
+		}
+	}
+	if res.Correct {
+		res.Message = "Solution is correct."
+	}
+	return res
+}
+
+// ParseVector is a convenience wrapper over ImportVector for in-memory data.
+func ParseVector(data []byte) ([]float32, error) {
+	return ImportVector(strings.NewReader(string(data)))
+}
+
+// ParseIntVector parses an in-memory int vector file.
+func ParseIntVector(data []byte) ([]int32, error) {
+	return ImportIntVector(strings.NewReader(string(data)))
+}
+
+// ParseMatrix parses an in-memory matrix file.
+func ParseMatrix(data []byte) ([]float32, int, int, error) {
+	return ImportMatrix(strings.NewReader(string(data)))
+}
+
+// ParseImage parses an in-memory image file.
+func ParseImage(data []byte) ([]byte, int, int, error) {
+	return ImportImage(strings.NewReader(string(data)))
+}
+
+// ParseCSR parses an in-memory CSR file.
+func ParseCSR(data []byte) (*CSR, error) {
+	return ImportCSR(strings.NewReader(string(data)))
+}
+
+// VectorBytes renders a float vector to the .raw format in memory.
+func VectorBytes(xs []float32) []byte {
+	var sb strings.Builder
+	_ = ExportVector(&sb, xs)
+	return []byte(sb.String())
+}
+
+// IntVectorBytes renders an int vector to the .raw format in memory.
+func IntVectorBytes(xs []int32) []byte {
+	var sb strings.Builder
+	_ = ExportIntVector(&sb, xs)
+	return []byte(sb.String())
+}
+
+// MatrixBytes renders a matrix to the .raw format in memory.
+func MatrixBytes(m []float32, rows, cols int) []byte {
+	var sb strings.Builder
+	_ = ExportMatrix(&sb, m, rows, cols)
+	return []byte(sb.String())
+}
+
+// ImageBytes renders an image to its text format in memory.
+func ImageBytes(pix []byte, w, h int) []byte {
+	var sb strings.Builder
+	_ = ExportImage(&sb, pix, w, h)
+	return []byte(sb.String())
+}
+
+// CSRBytes renders a CSR matrix to its text format in memory.
+func CSRBytes(m *CSR) []byte {
+	var sb strings.Builder
+	_ = ExportCSR(&sb, m)
+	return []byte(sb.String())
+}

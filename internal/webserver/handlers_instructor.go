@@ -1,0 +1,280 @@
+package webserver
+
+import (
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"net/http"
+	"sort"
+
+	"webgpu/internal/db"
+	"webgpu/internal/grader"
+	"webgpu/internal/peerreview"
+)
+
+// Instructor tools (§IV-F): the roster view of Figure 5, grade override,
+// comments on student work, peer-review assignment, and gradebook export.
+// Unlike lab *creation* (§IV-E, which required a terminal), these are all
+// web-accessible.
+
+// RosterRow is one student's line in the roster view: attempts, grades,
+// and short-answer status for a lab (Figure 5).
+type RosterRow struct {
+	UserID        string        `json:"user_id"`
+	Name          string        `json:"name"`
+	Email         string        `json:"email"`
+	Attempts      int           `json:"attempts"`
+	Submissions   int           `json:"submissions"`
+	ProgramGrade  int           `json:"program_grade"`
+	QuestionGrade int           `json:"question_grade"`
+	TotalGrade    int           `json:"total_grade"`
+	MaxGrade      int           `json:"max_grade"`
+	LastSubmitted string        `json:"last_submitted,omitempty"`
+	Grade         *grader.Grade `json:"grade,omitempty"`
+}
+
+func (s *Server) handleRoster(w http.ResponseWriter, r *http.Request, u *User) {
+	l := s.labFromPath(w, r)
+	if l == nil {
+		return
+	}
+	rows := map[string]*RosterRow{}
+	err := s.db.View(func(tx *db.Tx) error {
+		// Seed rows from attempts and submissions so only students with
+		// activity appear (the paper: "all students with a submission
+		// attempt for the Lab").
+		tx.Scan("attempts", func(k string, raw json.RawMessage) bool {
+			var a AttemptRec
+			if json.Unmarshal(raw, &a) == nil && a.LabID == l.ID {
+				row := rows[a.UserID]
+				if row == nil {
+					row = &RosterRow{UserID: a.UserID, MaxGrade: l.MaxPoints()}
+					rows[a.UserID] = row
+				}
+				row.Attempts++
+			}
+			return true
+		})
+		tx.Scan("submissions", func(k string, raw json.RawMessage) bool {
+			var sub SubmissionRec
+			if json.Unmarshal(raw, &sub) == nil && sub.LabID == l.ID {
+				row := rows[sub.UserID]
+				if row == nil {
+					row = &RosterRow{UserID: sub.UserID, MaxGrade: l.MaxPoints()}
+					rows[sub.UserID] = row
+				}
+				row.Submissions++
+				row.LastSubmitted = sub.At.Format("2006-01-02 15:04:05")
+			}
+			return true
+		})
+		for uid, row := range rows {
+			var usr User
+			if err := tx.Get("users", uid, &usr); err == nil {
+				row.Name, row.Email = usr.Name, usr.Email
+			}
+			var g grader.Grade
+			if err := tx.Get("grades", codeKey(uid, l.ID), &g); err == nil {
+				row.Grade = &g
+				row.ProgramGrade = g.Compile + g.Datasets + g.Keywords
+				row.QuestionGrade = g.Questions
+				row.TotalGrade = g.Total
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	out := make([]*RosterRow, 0, len(rows))
+	for _, row := range rows {
+		out = append(out, row)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].UserID < out[j].UserID })
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleStudentDetail is the drill-down behind a roster row (§IV-F): the
+// instructor reviews one student's code history, submission history,
+// grade, short-answer responses, and the comments left so far.
+func (s *Server) handleStudentDetail(w http.ResponseWriter, r *http.Request, u *User) {
+	userID := r.PathValue("user")
+	l := s.labFromPath(w, r)
+	if l == nil {
+		return
+	}
+	var student User
+	var history []CodeRec
+	var submissions []SubmissionRec
+	var answers AnswersRec
+	var grade *grader.Grade
+	var comments []CommentRec
+	err := s.db.View(func(tx *db.Tx) error {
+		if err := tx.Get("users", userID, &student); err != nil {
+			return err
+		}
+		prefix := userID + "|" + l.ID + "|"
+		for _, k := range tx.Keys("history") {
+			if len(k) > len(prefix) && k[:len(prefix)] == prefix {
+				var rec CodeRec
+				if err := tx.Get("history", k, &rec); err == nil {
+					history = append(history, rec)
+				}
+			}
+		}
+		tx.Scan("submissions", func(k string, raw json.RawMessage) bool {
+			var sub SubmissionRec
+			if json.Unmarshal(raw, &sub) == nil && sub.UserID == userID && sub.LabID == l.ID {
+				submissions = append(submissions, sub)
+			}
+			return true
+		})
+		_ = tx.Get("answers", codeKey(userID, l.ID), &answers)
+		var g grader.Grade
+		if err := tx.Get("grades", codeKey(userID, l.ID), &g); err == nil {
+			grade = &g
+		}
+		tx.Scan("comments", func(k string, raw json.RawMessage) bool {
+			var c CommentRec
+			if json.Unmarshal(raw, &c) == nil && c.UserID == userID && c.LabID == l.ID {
+				comments = append(comments, c)
+			}
+			return true
+		})
+		return nil
+	})
+	if errors.Is(err, db.ErrNotFound) {
+		writeErr(w, http.StatusNotFound, "no such student %q", userID)
+		return
+	}
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	sort.Slice(history, func(i, j int) bool { return history[i].Rev < history[j].Rev })
+	sort.Slice(submissions, func(i, j int) bool { return submissions[i].ID < submissions[j].ID })
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"student":     student,
+		"lab":         l.ID,
+		"history":     history,
+		"submissions": submissions,
+		"attempts":    s.attemptsFor(userID, l.ID),
+		"answers":     answers,
+		"grade":       grade,
+		"comments":    comments,
+		"questions":   l.Questions,
+	})
+}
+
+func (s *Server) handleOverride(w http.ResponseWriter, r *http.Request, u *User) {
+	var req struct {
+		UserID  string `json:"user_id"`
+		LabID   string `json:"lab_id"`
+		Total   int    `json:"total"`
+		Comment string `json:"comment"`
+	}
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var g grader.Grade
+	err := s.db.Update(func(tx *db.Tx) error {
+		if err := tx.Get("grades", codeKey(req.UserID, req.LabID), &g); err != nil {
+			return err
+		}
+		grader.Override(&g, u.ID, req.Total, req.Comment)
+		return tx.Put("grades", codeKey(req.UserID, req.LabID), g)
+	})
+	if errors.Is(err, db.ErrNotFound) {
+		writeErr(w, http.StatusNotFound, "no grade for %s on %s", req.UserID, req.LabID)
+		return
+	}
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if s.gradebook != nil {
+		_ = s.gradebook.Record(&g)
+	}
+	writeJSON(w, http.StatusOK, g)
+}
+
+func (s *Server) handleComment(w http.ResponseWriter, r *http.Request, u *User) {
+	var req struct {
+		UserID string `json:"user_id"`
+		LabID  string `json:"lab_id"`
+		Text   string `json:"text"`
+	}
+	if err := readJSON(r, &req); err != nil || req.Text == "" {
+		writeErr(w, http.StatusBadRequest, "user_id, lab_id, text required")
+		return
+	}
+	c := CommentRec{
+		ID:         s.newID("cmt"),
+		UserID:     req.UserID,
+		LabID:      req.LabID,
+		Instructor: u.ID,
+		Text:       req.Text,
+		At:         s.clock(),
+	}
+	if err := s.db.Update(func(tx *db.Tx) error {
+		return tx.Put("comments", c.ID, c)
+	}); err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, c)
+}
+
+func (s *Server) handleAssignReviews(w http.ResponseWriter, r *http.Request, u *User) {
+	l := s.labFromPath(w, r)
+	if l == nil {
+		return
+	}
+	var req struct {
+		PerStudent int   `json:"per_student"`
+		Seed       int64 `json:"seed"`
+	}
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.PerStudent <= 0 {
+		req.PerStudent = 3 // the paper's second offering
+	}
+	var students []string
+	_ = s.db.View(func(tx *db.Tx) error {
+		seen := map[string]bool{}
+		tx.Scan("submissions", func(k string, raw json.RawMessage) bool {
+			var sub SubmissionRec
+			if json.Unmarshal(raw, &sub) == nil && sub.LabID == l.ID && !seen[sub.UserID] {
+				seen[sub.UserID] = true
+				students = append(students, sub.UserID)
+			}
+			return true
+		})
+		return nil
+	})
+	sort.Strings(students)
+	as, err := peerreview.AssignRandom(l.ID, students, req.PerStudent, rand.New(rand.NewSource(req.Seed)))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.reviews.Load(as)
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"students":    len(students),
+		"assignments": len(as),
+	})
+}
+
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request, u *User) {
+	book, ok := s.gradebook.(*grader.CourseraBook)
+	if !ok {
+		writeErr(w, http.StatusNotImplemented, "gradebook does not support export")
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	_, _ = w.Write([]byte(book.Export()))
+}

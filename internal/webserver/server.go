@@ -1,0 +1,316 @@
+// Package webserver implements WebGPU's web tier (§III-A, §IV): the HTTP
+// interface through which students edit, compile, run, and submit lab
+// code and instructors manage the roster and grades. It persists every
+// code save (the History view), every attempt (the Attempts view), and
+// all grades in the database, dispatches compilation/execution jobs to
+// the worker tier through a pluggable dispatcher (push in v1, broker in
+// v2), and enforces the submission rate limits of §III-C.
+package webserver
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"webgpu/internal/db"
+	"webgpu/internal/grader"
+	"webgpu/internal/labs"
+	"webgpu/internal/peerreview"
+	"webgpu/internal/sandbox"
+	"webgpu/internal/worker"
+)
+
+// Dispatcher sends a job to the worker tier and waits for its result;
+// v1 pushes to a registry, v2 publishes to the broker.
+type Dispatcher interface {
+	Dispatch(job *worker.Job) (*worker.Result, error)
+}
+
+// DispatcherFunc adapts a function to the Dispatcher interface.
+type DispatcherFunc func(job *worker.Job) (*worker.Result, error)
+
+// Dispatch implements Dispatcher.
+func (f DispatcherFunc) Dispatch(job *worker.Job) (*worker.Result, error) { return f(job) }
+
+// Config wires a server's dependencies.
+type Config struct {
+	DB         *db.DB
+	Dispatcher Dispatcher
+	Gradebook  grader.Gradebook
+	Reviews    *peerreview.Store
+	Course     labs.Course
+	Limits     sandbox.Limits
+	Clock      func() time.Time
+}
+
+// Server is the WebGPU web tier.
+type Server struct {
+	db        *db.DB
+	dispatch  Dispatcher
+	gradebook grader.Gradebook
+	reviews   *peerreview.Store
+	course    labs.Course
+	limiter   *sandbox.RateLimiter
+	clock     func() time.Time
+	mux       *http.ServeMux
+	nextID    atomic.Int64
+	deadlines map[string]time.Time
+}
+
+// New builds a server.
+func New(cfg Config) *Server {
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	if cfg.Limits.SubmitInterval == 0 {
+		cfg.Limits = sandbox.DefaultLimits()
+	}
+	if cfg.Reviews == nil {
+		cfg.Reviews = peerreview.NewStore(0)
+	}
+	if cfg.Course == "" {
+		cfg.Course = labs.CourseHPP
+	}
+	s := &Server{
+		db:        cfg.DB,
+		dispatch:  cfg.Dispatcher,
+		gradebook: cfg.Gradebook,
+		reviews:   cfg.Reviews,
+		course:    cfg.Course,
+		limiter:   sandbox.NewRateLimiter(cfg.Limits.SubmitInterval),
+		clock:     cfg.Clock,
+		deadlines: map[string]time.Time{},
+	}
+	s.limiter.SetClock(cfg.Clock)
+	s.db.CreateIndex("users", "email")
+	s.routes()
+	return s
+}
+
+// SetDeadline configures a lab's deadline; attempts may be shared publicly
+// only after it passes (§IV-B), and submissions after it are flagged.
+func (s *Server) SetDeadline(labID string, t time.Time) { s.deadlines[labID] = t }
+
+// SetClock replaces the server's time source (tests).
+func (s *Server) SetClock(clock func() time.Time) {
+	s.clock = clock
+	s.limiter.SetClock(clock)
+}
+
+// Handler returns the root HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	m := s.mux
+	m.HandleFunc("POST /api/register", s.handleRegister)
+	m.HandleFunc("POST /api/login", s.handleLogin)
+	m.HandleFunc("GET /api/labs", s.auth(s.handleListLabs))
+	m.HandleFunc("GET /api/labs/{lab}", s.auth(s.handleGetLab))
+	m.HandleFunc("POST /api/labs/{lab}/save", s.auth(s.handleSave))
+	m.HandleFunc("GET /api/labs/{lab}/code", s.auth(s.handleGetCode))
+	m.HandleFunc("GET /api/labs/{lab}/history", s.auth(s.handleHistory))
+	m.HandleFunc("POST /api/labs/{lab}/compile", s.auth(s.handleCompile))
+	m.HandleFunc("POST /api/labs/{lab}/attempt", s.auth(s.handleAttempt))
+	m.HandleFunc("GET /api/labs/{lab}/attempts", s.auth(s.handleAttempts))
+	m.HandleFunc("POST /api/labs/{lab}/questions", s.auth(s.handleAnswerQuestions))
+	m.HandleFunc("POST /api/labs/{lab}/submit", s.auth(s.handleSubmit))
+	m.HandleFunc("GET /api/labs/{lab}/grade", s.auth(s.handleGetGrade))
+	m.HandleFunc("GET /api/labs/{lab}/hints", s.auth(s.handleHints))
+	m.HandleFunc("POST /api/attempts/{attempt}/share", s.auth(s.handleShare))
+	m.HandleFunc("GET /api/share/{token}", s.handleViewShare)
+	m.HandleFunc("GET /api/reviews", s.auth(s.handleMyReviews))
+	m.HandleFunc("POST /api/reviews/complete", s.auth(s.handleCompleteReview))
+	m.HandleFunc("GET /api/instructor/roster/{lab}", s.instructor(s.handleRoster))
+	m.HandleFunc("GET /api/instructor/student/{user}/{lab}", s.instructor(s.handleStudentDetail))
+	m.HandleFunc("POST /api/instructor/override", s.instructor(s.handleOverride))
+	m.HandleFunc("POST /api/instructor/comment", s.instructor(s.handleComment))
+	m.HandleFunc("POST /api/instructor/reviews/assign/{lab}", s.instructor(s.handleAssignReviews))
+	m.HandleFunc("GET /api/instructor/export", s.instructor(s.handleExport))
+	m.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	m.HandleFunc("GET /labs/{lab}/view", s.auth(s.handleLabPage))
+}
+
+// ---- Records ------------------------------------------------------------------
+
+// User is a registered account.
+type User struct {
+	ID     string `json:"id"`
+	Name   string `json:"name"`
+	Email  string `json:"email"`
+	Role   string `json:"role"` // "student" or "instructor"
+	Joined string `json:"joined"`
+}
+
+type sessionRec struct {
+	Token  string `json:"token"`
+	UserID string `json:"user_id"`
+}
+
+// CodeRec is the current editor contents for (user, lab).
+type CodeRec struct {
+	UserID  string    `json:"user_id"`
+	LabID   string    `json:"lab_id"`
+	Source  string    `json:"source"`
+	Rev     int       `json:"rev"`
+	SavedAt time.Time `json:"saved_at"`
+}
+
+// AttemptRec is one compile or dataset run (the Attempts view).
+type AttemptRec struct {
+	ID        string        `json:"id"`
+	UserID    string        `json:"user_id"`
+	LabID     string        `json:"lab_id"`
+	DatasetID int           `json:"dataset_id"`
+	Source    string        `json:"source"`
+	Outcome   *labs.Outcome `json:"outcome"`
+	At        time.Time     `json:"at"`
+	Shared    bool          `json:"shared,omitempty"`
+	ShareTok  string        `json:"share_token,omitempty"`
+}
+
+// SubmissionRec is a final graded submission.
+type SubmissionRec struct {
+	ID       string          `json:"id"`
+	UserID   string          `json:"user_id"`
+	LabID    string          `json:"lab_id"`
+	Source   string          `json:"source"`
+	Outcomes []*labs.Outcome `json:"outcomes"`
+	Grade    *grader.Grade   `json:"grade"`
+	Late     bool            `json:"late,omitempty"`
+	At       time.Time       `json:"at"`
+}
+
+// AnswersRec stores short-answer responses (§IV-A action 4).
+type AnswersRec struct {
+	UserID  string    `json:"user_id"`
+	LabID   string    `json:"lab_id"`
+	Answers []string  `json:"answers"`
+	At      time.Time `json:"at"`
+}
+
+// CommentRec is an instructor comment on a student's lab (§IV-F).
+type CommentRec struct {
+	ID         string    `json:"id"`
+	UserID     string    `json:"user_id"`
+	LabID      string    `json:"lab_id"`
+	Instructor string    `json:"instructor"`
+	Text       string    `json:"text"`
+	At         time.Time `json:"at"`
+}
+
+// ---- Helpers ------------------------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func readJSON(r *http.Request, v interface{}) error {
+	defer r.Body.Close()
+	return json.NewDecoder(r.Body).Decode(v)
+}
+
+func (s *Server) newID(prefix string) string {
+	return fmt.Sprintf("%s-%06d", prefix, s.nextID.Add(1))
+}
+
+func randToken() string {
+	b := make([]byte, 16)
+	if _, err := rand.Read(b); err != nil {
+		panic(err)
+	}
+	return hex.EncodeToString(b)
+}
+
+type authedHandler func(w http.ResponseWriter, r *http.Request, u *User)
+
+// auth resolves the Authorization bearer token to a user.
+func (s *Server) auth(h authedHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		token := strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
+		if token == "" {
+			writeErr(w, http.StatusUnauthorized, "missing bearer token")
+			return
+		}
+		var sess sessionRec
+		var u User
+		err := s.db.View(func(tx *db.Tx) error {
+			if err := tx.Get("sessions", token, &sess); err != nil {
+				return err
+			}
+			return tx.Get("users", sess.UserID, &u)
+		})
+		if err != nil {
+			writeErr(w, http.StatusUnauthorized, "invalid session")
+			return
+		}
+		h(w, r, &u)
+	}
+}
+
+// instructor additionally requires the instructor role.
+func (s *Server) instructor(h authedHandler) http.HandlerFunc {
+	return s.auth(func(w http.ResponseWriter, r *http.Request, u *User) {
+		if u.Role != "instructor" {
+			writeErr(w, http.StatusForbidden, "instructor role required")
+			return
+		}
+		h(w, r, u)
+	})
+}
+
+// labFromPath resolves the {lab} path parameter, restricted to the
+// server's course.
+func (s *Server) labFromPath(w http.ResponseWriter, r *http.Request) *labs.Lab {
+	id := r.PathValue("lab")
+	l := labs.ByID(id)
+	if l == nil || !l.UsedBy(s.course) {
+		writeErr(w, http.StatusNotFound, "no lab %q in course %s", id, s.course)
+		return nil
+	}
+	return l
+}
+
+func codeKey(userID, labID string) string { return userID + "|" + labID }
+
+func histKey(userID, labID string, rev int) string {
+	return fmt.Sprintf("%s|%s|%08d", userID, labID, rev)
+}
+
+// loadSource returns the student's current saved code, or the skeleton.
+func (s *Server) loadSource(userID string, l *labs.Lab) string {
+	var rec CodeRec
+	err := s.db.View(func(tx *db.Tx) error {
+		return tx.Get("code", codeKey(userID, l.ID), &rec)
+	})
+	if errors.Is(err, db.ErrNotFound) {
+		return l.Skeleton
+	}
+	return rec.Source
+}
+
+func atoiDefault(s string, def int) int {
+	if s == "" {
+		return def
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return def
+	}
+	return n
+}

@@ -1,0 +1,89 @@
+// Package worker implements WebGPU's GPU worker nodes: the v1 design
+// where the web server pushes jobs to registered workers that answer
+// health checks (§III-C), and the v2 design where worker nodes poll a
+// message broker for jobs matching their capabilities and run each job in
+// a Docker-like container drawn from a pool mapped onto the node's GPUs
+// (§VI-B). Job execution itself — blacklist scan, compile, run, check —
+// is shared between the two.
+package worker
+
+import (
+	"encoding/json"
+	"time"
+
+	"webgpu/internal/labs"
+)
+
+// Dataset sentinels for Job.DatasetID.
+const (
+	DatasetAll         = -1 // run every dataset (final submission grading)
+	DatasetCompileOnly = -2 // compile only (the editor's Compile button)
+)
+
+// Job is one unit of work: compile and/or run a student submission.
+type Job struct {
+	ID           string   `json:"id"`
+	LabID        string   `json:"lab_id"`
+	UserID       string   `json:"user_id"`
+	SubmissionID string   `json:"submission_id"`
+	Source       string   `json:"source"`
+	DatasetID    int      `json:"dataset_id"`
+	MaxSteps     int64    `json:"max_steps,omitempty"`
+	Requirements []string `json:"requirements,omitempty"`
+}
+
+// Result is what a worker sends back to the web tier.
+type Result struct {
+	JobID        string          `json:"job_id"`
+	WorkerID     string          `json:"worker_id"`
+	Image        string          `json:"image,omitempty"`
+	Outcomes     []*labs.Outcome `json:"outcomes,omitempty"`
+	Rejected     bool            `json:"rejected,omitempty"` // failed the security scan
+	Error        string          `json:"error,omitempty"`
+	QueueWait    time.Duration   `json:"queue_wait,omitempty"`
+	ExecDuration time.Duration   `json:"exec_duration,omitempty"`
+	CompletedAt  time.Time       `json:"completed_at"`
+}
+
+// Correct reports whether every outcome passed.
+func (r *Result) Correct() bool {
+	if r.Error != "" || r.Rejected || len(r.Outcomes) == 0 {
+		return false
+	}
+	for _, o := range r.Outcomes {
+		if !o.Correct {
+			return false
+		}
+	}
+	return true
+}
+
+// EncodeJob serializes a job for the broker.
+func EncodeJob(j *Job) []byte {
+	b, _ := json.Marshal(j)
+	return b
+}
+
+// DecodeJob deserializes a broker payload.
+func DecodeJob(b []byte) (*Job, error) {
+	var j Job
+	if err := json.Unmarshal(b, &j); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// EncodeResult serializes a result for the broker.
+func EncodeResult(r *Result) []byte {
+	b, _ := json.Marshal(r)
+	return b
+}
+
+// DecodeResult deserializes a result payload.
+func DecodeResult(b []byte) (*Result, error) {
+	var r Result
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}

@@ -1,0 +1,218 @@
+package worker
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"webgpu/internal/labs"
+	"webgpu/internal/metrics"
+	"webgpu/internal/sandbox"
+)
+
+// Node is the execution core shared by the v1 (push) and v2 (poll)
+// workers: it owns the GPUs, the container pool, the security scanner,
+// and the per-job pipeline.
+type Node struct {
+	ID      string
+	GPUs    int
+	Tags    map[string]bool
+	pool    *Pool
+	scanner *sandbox.Scanner
+	limits  sandbox.Limits
+	metrics *metrics.Registry
+
+	// One job at a time per node: containers are bound to the node's
+	// physical GPUs, so a second concurrent job would share (and, at
+	// teardown, reset) the same devices.
+	execMu sync.Mutex
+}
+
+// NodeConfig configures a worker node.
+type NodeConfig struct {
+	ID       string
+	GPUs     int // simulated GPUs on the node
+	Images   []Image
+	PerImage int // warm containers per image
+	Tags     []string
+	ScanMode sandbox.ScanMode
+	Limits   sandbox.Limits
+}
+
+// DefaultNodeConfig returns a single-GPU CUDA worker configuration.
+func DefaultNodeConfig(id string) NodeConfig {
+	return NodeConfig{
+		ID:       id,
+		GPUs:     1,
+		Images:   DefaultImages(),
+		PerImage: 2,
+		Tags:     []string{"cuda", "opencl"},
+		ScanMode: sandbox.ScanRaw,
+		Limits:   sandbox.DefaultLimits(),
+	}
+}
+
+// NewNode builds a node from its configuration.
+func NewNode(cfg NodeConfig) *Node {
+	gpus := cfg.GPUs
+	if gpus <= 0 {
+		gpus = 1
+	}
+	devices := labs.NewDeviceSet(gpus)
+	tags := map[string]bool{}
+	for _, t := range cfg.Tags {
+		tags[t] = true
+	}
+	if gpus > 1 {
+		tags[labs.ReqMultiGPU] = true
+	}
+	// PerImage 0 defaults to one warm container; a negative value means
+	// "no warm pool" (every acquisition is a cold start — the Figure 7
+	// ablation).
+	perImage := cfg.PerImage
+	if perImage == 0 {
+		perImage = 1
+	}
+	if perImage < 0 {
+		perImage = 0
+	}
+	images := cfg.Images
+	if images == nil {
+		images = DefaultImages()
+	}
+	// A node advertises "mpi" when one of its images carries the MPI
+	// toolchain.
+	for _, img := range images {
+		if img.Toolchains["mpi"] {
+			tags["mpi"] = true
+		}
+	}
+	limits := cfg.Limits
+	if limits.MaxSteps == 0 {
+		limits = sandbox.DefaultLimits()
+	}
+	return &Node{
+		ID:      cfg.ID,
+		GPUs:    gpus,
+		Tags:    tags,
+		pool:    NewPool(images, devices, perImage),
+		scanner: sandbox.NewScanner(nil, cfg.ScanMode),
+		limits:  limits,
+		metrics: metrics.NewRegistry(),
+	}
+}
+
+// Capabilities returns the node's tag set (for broker polling).
+func (n *Node) Capabilities() map[string]bool {
+	caps := map[string]bool{}
+	for t := range n.Tags {
+		caps[t] = true
+	}
+	return caps
+}
+
+// Metrics exposes the node's registry (health dashboard).
+func (n *Node) Metrics() *metrics.Registry { return n.metrics }
+
+// Pool exposes the container pool (tests and the dashboard).
+func (n *Node) Pool() *Pool { return n.pool }
+
+// Execute runs one job through the full pipeline: security scan, image
+// selection, container acquisition, compile/run, container teardown.
+func (n *Node) Execute(job *Job) *Result {
+	n.execMu.Lock()
+	defer n.execMu.Unlock()
+	start := time.Now()
+	res := &Result{JobID: job.ID, WorkerID: n.ID}
+	defer func() {
+		res.ExecDuration = time.Since(start)
+		res.CompletedAt = time.Now()
+		n.metrics.Inc("jobs_total", 1)
+		n.metrics.ObserveDuration("job_exec_ms", res.ExecDuration)
+	}()
+
+	lab := labs.ByID(job.LabID)
+	if lab == nil {
+		res.Error = fmt.Sprintf("worker: unknown lab %q", job.LabID)
+		n.metrics.Inc("jobs_unknown_lab", 1)
+		return res
+	}
+
+	// Compile-time blacklist (§III-D).
+	if err := n.scanner.Check(job.Source); err != nil {
+		res.Rejected = true
+		res.Error = err.Error()
+		n.metrics.Inc("jobs_rejected", 1)
+		return res
+	}
+
+	// Toolchain-based image selection (§VI-B).
+	toolchains := []string{"cuda"}
+	switch lab.Dialect.String() {
+	case "OpenCL":
+		toolchains = []string{"opencl"}
+	case "OpenACC":
+		toolchains = []string{"openacc"}
+	}
+	for _, r := range lab.Requirements {
+		if r == labs.ReqMPI {
+			toolchains = append(toolchains, "mpi")
+		}
+	}
+	image, err := n.pool.SelectImage(toolchains)
+	if err != nil {
+		res.Error = err.Error()
+		n.metrics.Inc("jobs_no_image", 1)
+		return res
+	}
+	res.Image = image
+	ctr, err := n.pool.Acquire(image)
+	if err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	defer n.pool.Release(ctr)
+
+	maxSteps := job.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = n.limits.MaxSteps
+	}
+
+	switch job.DatasetID {
+	case DatasetCompileOnly:
+		res.Outcomes = []*labs.Outcome{labs.CompileOnly(lab, job.Source)}
+	case DatasetAll:
+		res.Outcomes = labs.RunAll(lab, job.Source, ctr.Devices, maxSteps)
+	default:
+		res.Outcomes = []*labs.Outcome{labs.Run(lab, job.Source, job.DatasetID, ctr.Devices, maxSteps)}
+	}
+	for _, o := range res.Outcomes {
+		clamped, truncated := n.limits.ClampOutput(o.Trace)
+		if truncated {
+			o.Trace = clamped
+		}
+		if o.Correct {
+			n.metrics.Inc("outcomes_correct", 1)
+		} else {
+			n.metrics.Inc("outcomes_incorrect", 1)
+		}
+	}
+	return res
+}
+
+// CanServe reports whether the node satisfies every requirement of a job.
+func (n *Node) CanServe(job *Job) bool {
+	lab := labs.ByID(job.LabID)
+	if lab == nil {
+		return false
+	}
+	for _, r := range lab.Requirements {
+		if !n.Tags[r] {
+			return false
+		}
+	}
+	if lab.NumGPUs > n.GPUs {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,56 @@
+package worker
+
+import (
+	"webgpu/internal/gpusim"
+	"webgpu/internal/labs"
+	"webgpu/internal/minicuda"
+	"webgpu/internal/wb"
+)
+
+// Aliases and helpers for the transient OpenACC lab used in
+// TestNodeSelectsOpenACCImage, keeping the test body readable.
+
+type (
+	wbDataset = wb.Dataset
+	wbFile    = wb.File
+)
+
+func wbVectorBytes(xs []float32) []byte { return wb.VectorBytes(xs) }
+
+func minicudaOpenACC() minicuda.Dialect { return minicuda.DialectOpenACC }
+
+// accSaxpyHarness runs the translated saxpy kernel: y = 2x + y.
+func accSaxpyHarness(rc *labs.RunContext) (wb.CheckResult, error) {
+	x, err := wb.ParseVector(rc.Dataset.Input("x.raw"))
+	if err != nil {
+		return wb.CheckResult{}, err
+	}
+	y, err := wb.ParseVector(rc.Dataset.Input("y.raw"))
+	if err != nil {
+		return wb.CheckResult{}, err
+	}
+	dev := rc.Dev()
+	xP, err := dev.MallocFloat32(len(x), x)
+	if err != nil {
+		return wb.CheckResult{}, err
+	}
+	yP, err := dev.MallocFloat32(len(y), y)
+	if err != nil {
+		return wb.CheckResult{}, err
+	}
+	n := len(x)
+	if _, err := rc.Program.Launch(dev, "saxpy",
+		rc.Opts(gpusim.D1((n+63)/64), gpusim.D1(64)),
+		minicuda.FloatPtr(xP), minicuda.FloatPtr(yP), minicuda.Int(n)); err != nil {
+		return wb.CheckResult{}, err
+	}
+	got, err := dev.ReadFloat32(yP, n)
+	if err != nil {
+		return wb.CheckResult{}, err
+	}
+	want, err := wb.ParseVector(rc.Dataset.Expected.Data)
+	if err != nil {
+		return wb.CheckResult{}, err
+	}
+	return wb.CompareFloats(got, want, wb.DefaultTolerance), nil
+}

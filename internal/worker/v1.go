@@ -1,0 +1,164 @@
+package worker
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// v1 architecture (§III, Figure 2): the web server *pushes* jobs to a
+// worker it selects from the pool, and workers send periodic health
+// checks; "the web-server would evict the worker from the pool of workers
+// if a health check is not received within an allotted time."
+
+// ErrNoWorkers is returned when the registry has no live worker able to
+// serve a job.
+var ErrNoWorkers = errors.New("worker: no live worker can serve this job")
+
+// DefaultHealthTTL is how long a worker may go silent before eviction.
+const DefaultHealthTTL = 30 * time.Second
+
+// Registry is the web server's view of the v1 worker pool.
+type Registry struct {
+	mu     sync.Mutex
+	ttl    time.Duration
+	clock  func() time.Time
+	nodes  map[string]*registered
+	rrSeq  int
+	evicts int64
+}
+
+type registered struct {
+	node     *Node
+	lastBeat time.Time
+	inflight int
+}
+
+// NewRegistry creates a registry with the given health-check TTL.
+func NewRegistry(ttl time.Duration) *Registry {
+	if ttl <= 0 {
+		ttl = DefaultHealthTTL
+	}
+	return &Registry{ttl: ttl, clock: time.Now, nodes: map[string]*registered{}}
+}
+
+// SetClock overrides the time source (tests).
+func (r *Registry) SetClock(clock func() time.Time) { r.clock = clock }
+
+// Register adds a worker to the pool (its registration counts as a beat).
+func (r *Registry) Register(n *Node) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nodes[n.ID] = &registered{node: n, lastBeat: r.clock()}
+}
+
+// Deregister removes a worker.
+func (r *Registry) Deregister(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.nodes, id)
+}
+
+// Beat records a health check from a worker.
+func (r *Registry) Beat(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if reg, ok := r.nodes[id]; ok {
+		reg.lastBeat = r.clock()
+	}
+}
+
+// evictStaleLocked drops workers whose last health check is too old.
+func (r *Registry) evictStaleLocked(now time.Time) {
+	for id, reg := range r.nodes {
+		if now.Sub(reg.lastBeat) > r.ttl {
+			delete(r.nodes, id)
+			r.evicts++
+		}
+	}
+}
+
+// Alive returns the IDs of live workers, after evicting stale ones.
+func (r *Registry) Alive() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.evictStaleLocked(r.clock())
+	out := make([]string, 0, len(r.nodes))
+	for id := range r.nodes {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Evictions reports how many workers were evicted for missing health
+// checks.
+func (r *Registry) Evictions() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.evicts
+}
+
+// Size reports the live pool size.
+func (r *Registry) Size() int { return len(r.Alive()) }
+
+// StartHeartbeats runs the workers' periodic health checks (§III-C: "the
+// worker node [sends] regular health checks to the web-server"): every
+// interval, each registered in-process node reports in. Returns a stop
+// function. Nodes registered later are picked up automatically.
+func (r *Registry) StartHeartbeats(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = r.ttl / 3
+	}
+	done := make(chan struct{})
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				r.mu.Lock()
+				now := r.clock()
+				for _, reg := range r.nodes {
+					reg.lastBeat = now
+				}
+				r.mu.Unlock()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// Dispatch pushes a job to a live, capable, least-loaded worker and runs
+// it synchronously, returning the worker's result. This is the v1 flow:
+// "the web-server acts as an intermediary, dispatching jobs to a node in
+// the pool of workers and relaying the results" (§III-A).
+func (r *Registry) Dispatch(job *Job) (*Result, error) {
+	r.mu.Lock()
+	now := r.clock()
+	r.evictStaleLocked(now)
+	var pick *registered
+	for _, reg := range r.nodes {
+		if !reg.node.CanServe(job) {
+			continue
+		}
+		if pick == nil || reg.inflight < pick.inflight {
+			pick = reg
+		}
+	}
+	if pick == nil {
+		r.mu.Unlock()
+		return nil, ErrNoWorkers
+	}
+	pick.inflight++
+	r.mu.Unlock()
+
+	res := pick.node.Execute(job)
+
+	r.mu.Lock()
+	pick.inflight--
+	r.mu.Unlock()
+	return res, nil
+}

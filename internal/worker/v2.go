@@ -1,0 +1,247 @@
+package worker
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"webgpu/internal/queue"
+)
+
+// v2 architecture (§VI, Figures 6-7): workers *poll* the message broker
+// for jobs matching their capabilities, execute them in pooled
+// containers, and publish results back. Each worker watches a remote
+// configuration service; a config change restarts the main driver. This
+// pull model is what lets the fleet autoscale freely — the web tier never
+// needs to know which workers exist.
+
+// Topics used on the broker.
+const (
+	TopicJobs    = "jobs"
+	TopicResults = "results"
+)
+
+// DefaultVisibility is the job lease duration: a worker that dies
+// mid-job loses its lease and the job is redelivered elsewhere.
+const DefaultVisibility = 2 * time.Minute
+
+// Config is the remote worker configuration (§VI-B: "a remote
+// configuration system ... allows all worker nodes to be remotely
+// configured uniformly. A change in the remote configuration triggers the
+// worker node to restart the main driver").
+type Config struct {
+	PollInterval time.Duration
+	Visibility   time.Duration
+	Paused       bool
+}
+
+// DefaultConfig returns the standard driver configuration.
+func DefaultConfig() Config {
+	return Config{PollInterval: 5 * time.Millisecond, Visibility: DefaultVisibility}
+}
+
+// ConfigServer is the shared remote configuration endpoint.
+type ConfigServer struct {
+	mu      sync.Mutex
+	cfg     Config
+	version int64
+}
+
+// NewConfigServer creates a server with the given initial configuration.
+func NewConfigServer(cfg Config) *ConfigServer {
+	return &ConfigServer{cfg: cfg, version: 1}
+}
+
+// Get returns the current configuration and its version.
+func (cs *ConfigServer) Get() (Config, int64) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.cfg, cs.version
+}
+
+// Update publishes a new configuration, bumping the version.
+func (cs *ConfigServer) Update(cfg Config) int64 {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.cfg = cfg
+	cs.version++
+	return cs.version
+}
+
+// Driver is the v2 worker main loop (Figure 7 item 4).
+type Driver struct {
+	node    *Node
+	broker  *queue.Broker
+	cfgSrv  *ConfigServer
+	stopCh  chan struct{}
+	doneCh  chan struct{}
+	started atomic.Bool
+
+	jobsDone atomic.Int64
+	restarts atomic.Int64
+	cfgVer   atomic.Int64
+}
+
+// NewDriver wires a node to a broker and configuration service.
+func NewDriver(node *Node, broker *queue.Broker, cfgSrv *ConfigServer) *Driver {
+	return &Driver{
+		node:   node,
+		broker: broker,
+		cfgSrv: cfgSrv,
+		stopCh: make(chan struct{}),
+		doneCh: make(chan struct{}),
+	}
+}
+
+// Start launches the polling loop. The initial configuration is fetched
+// synchronously so a later Update is always observed as a change.
+func (d *Driver) Start() {
+	if !d.started.CompareAndSwap(false, true) {
+		return
+	}
+	cfg, ver := d.cfgSrv.Get()
+	d.cfgVer.Store(ver)
+	go d.loop(cfg)
+}
+
+// Stop terminates the loop and waits for it to exit.
+func (d *Driver) Stop() {
+	if !d.started.Load() {
+		return
+	}
+	select {
+	case <-d.stopCh:
+	default:
+		close(d.stopCh)
+	}
+	<-d.doneCh
+}
+
+// JobsDone reports how many jobs this driver completed.
+func (d *Driver) JobsDone() int64 { return d.jobsDone.Load() }
+
+// Restarts reports how many times a config change restarted the driver.
+func (d *Driver) Restarts() int64 { return d.restarts.Load() }
+
+func (d *Driver) loop(cfg Config) {
+	defer close(d.doneCh)
+	caps := d.node.Capabilities()
+	for {
+		select {
+		case <-d.stopCh:
+			return
+		default:
+		}
+		// Config watch: a version change restarts the driver state.
+		if ncfg, nver := d.cfgSrv.Get(); nver != d.cfgVer.Load() {
+			cfg = ncfg
+			d.cfgVer.Store(nver)
+			d.restarts.Add(1)
+			caps = d.node.Capabilities()
+		}
+		if cfg.Paused {
+			if !sleepOrStop(d.stopCh, cfg.PollInterval) {
+				return
+			}
+			continue
+		}
+		delivery, ok, err := d.broker.Poll(TopicJobs, d.node.ID, caps, cfg.Visibility)
+		if err != nil {
+			return // broker closed
+		}
+		if !ok {
+			if !sleepOrStop(d.stopCh, cfg.PollInterval) {
+				return
+			}
+			continue
+		}
+		job, derr := DecodeJob(delivery.Msg.Payload)
+		if derr != nil {
+			_ = delivery.Nack() // poison message heads to the DLQ
+			continue
+		}
+		res := d.node.Execute(job)
+		res.QueueWait = time.Since(delivery.Msg.Enqueued)
+		if _, err := d.broker.Publish(TopicResults, EncodeResult(res)); err != nil {
+			_ = delivery.Nack()
+			continue
+		}
+		_ = delivery.Ack()
+		d.jobsDone.Add(1)
+		d.node.Metrics().Inc("driver_jobs", 1)
+	}
+}
+
+func sleepOrStop(stop <-chan struct{}, d time.Duration) bool {
+	select {
+	case <-stop:
+		return false
+	case <-time.After(d):
+		return true
+	}
+}
+
+// Fleet manages a set of v2 drivers, the unit the autoscaler adds and
+// removes.
+type Fleet struct {
+	mu      sync.Mutex
+	broker  *queue.Broker
+	cfgSrv  *ConfigServer
+	nextID  int
+	drivers map[string]*Driver
+	mkNode  func(id string) *Node
+}
+
+// NewFleet creates an empty fleet; mkNode builds each new worker node
+// (nil uses DefaultNodeConfig).
+func NewFleet(broker *queue.Broker, cfgSrv *ConfigServer, mkNode func(id string) *Node) *Fleet {
+	if mkNode == nil {
+		mkNode = func(id string) *Node { return NewNode(DefaultNodeConfig(id)) }
+	}
+	return &Fleet{broker: broker, cfgSrv: cfgSrv, drivers: map[string]*Driver{}, mkNode: mkNode}
+}
+
+// Scale adjusts the fleet to n workers, starting or stopping drivers.
+func (f *Fleet) Scale(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for len(f.drivers) < n {
+		f.nextID++
+		id := nodeID(f.nextID)
+		d := NewDriver(f.mkNode(id), f.broker, f.cfgSrv)
+		f.drivers[id] = d
+		d.Start()
+	}
+	for id, d := range f.drivers {
+		if len(f.drivers) <= n {
+			break
+		}
+		d.Stop()
+		delete(f.drivers, id)
+	}
+}
+
+func nodeID(n int) string {
+	return "worker-" + string(rune('0'+n/100%10)) + string(rune('0'+n/10%10)) + string(rune('0'+n%10))
+}
+
+// Size reports the current fleet size.
+func (f *Fleet) Size() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.drivers)
+}
+
+// JobsDone sums completed jobs across current drivers.
+func (f *Fleet) JobsDone() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var n int64
+	for _, d := range f.drivers {
+		n += d.JobsDone()
+	}
+	return n
+}
+
+// Stop stops every driver.
+func (f *Fleet) Stop() { f.Scale(0) }

@@ -1,0 +1,193 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// Figure 1 model: "the number of active students per hour on WebGPU from
+// February 8th 2015 to April 15th 2015. The number of active students
+// varies from 112 on February 18th to 8 on April 9th ... Thursday was the
+// lab deadline. A spike occurs every Wednesday as students rush to
+// complete the lab."
+
+// HourPoint is one sample of the active-students series.
+type HourPoint struct {
+	Time   time.Time
+	Active int
+}
+
+// ActivityModel generates the hourly active-student series.
+type ActivityModel struct {
+	Start           time.Time
+	End             time.Time
+	Peak            float64      // maximum hourly active students (paper: 112)
+	Trough          float64      // late-course minimum (paper: 8)
+	DeadlineWeekday time.Weekday // Thursday in 2015
+	Seed            int64
+}
+
+// Figure1Model returns the model calibrated to the 2015 offering.
+func Figure1Model() ActivityModel {
+	return ActivityModel{
+		Start:           time.Date(2015, 2, 8, 0, 0, 0, 0, time.UTC),
+		End:             time.Date(2015, 4, 15, 0, 0, 0, 0, time.UTC),
+		Peak:            112,
+		Trough:          8,
+		DeadlineWeekday: time.Thursday,
+		Seed:            2015,
+	}
+}
+
+// shape computes the noiseless activity envelope at time t, normalized so
+// its maximum over the course is ~1.
+func (m ActivityModel) shape(t time.Time) float64 {
+	total := m.End.Sub(m.Start).Hours()
+	frac := t.Sub(m.Start).Hours() / total // 0..1 through the course
+
+	// Enrollment decay (Table I): activity falls roughly exponentially as
+	// students drop; calibrate so the envelope ends near Trough/Peak.
+	decay := math.Exp(math.Log(m.Trough/m.Peak) * frac * 0.85)
+
+	// Weekly deadline cycle: activity climbs through the week and spikes
+	// the day before the deadline (Wednesday), collapsing after Thursday.
+	// The first lab's deadline fell in week two (the course opened Feb 8),
+	// so the spike ramps in over the first ~nine days — which is why the
+	// paper's peak is Feb 18, the *second* Wednesday.
+	spikeDay := (int(m.DeadlineWeekday) + 6) % 7 // the day before the deadline
+	daysToSpike := float64((int(t.Weekday()) - spikeDay + 7) % 7)
+	ramp := t.Sub(m.Start).Hours() / 24 / 9
+	if ramp > 1 {
+		ramp = 1
+	}
+	spikeStrength := 0.25 + 0.75*ramp
+	weekly := 0.35 + 0.65*math.Exp(-daysToSpike*daysToSpike/3.0)*spikeStrength
+
+	// Diurnal cycle: global student body flattens it, but a clear
+	// day/night swing remains.
+	hour := float64(t.Hour())
+	diurnal := 0.65 + 0.35*math.Sin((hour-9)/24*2*math.Pi)
+
+	return decay * weekly * diurnal
+}
+
+// HourlySeries generates the full series.
+func (m ActivityModel) HourlySeries() []HourPoint {
+	rng := rand.New(rand.NewSource(m.Seed))
+	var out []HourPoint
+
+	// Normalize the shape maximum to Peak.
+	maxShape := 0.0
+	for t := m.Start; t.Before(m.End); t = t.Add(time.Hour) {
+		if s := m.shape(t); s > maxShape {
+			maxShape = s
+		}
+	}
+	for t := m.Start; t.Before(m.End); t = t.Add(time.Hour) {
+		v := m.shape(t) / maxShape * m.Peak * 0.97
+		v *= 1 + 0.05*rng.NormFloat64() // observation noise
+		if v < 0 {
+			v = 0
+		}
+		out = append(out, HourPoint{Time: t, Active: int(math.Round(v))})
+	}
+	return out
+}
+
+// SeriesStats summarizes a series the way the figure caption does.
+type SeriesStats struct {
+	Hours     int
+	Max       int
+	MaxAt     time.Time
+	Min       int
+	MinAt     time.Time
+	Mean      float64
+	ByWeekday [7]float64 // mean active by weekday
+}
+
+// Stats computes summary statistics of a series.
+func Stats(series []HourPoint) SeriesStats {
+	s := SeriesStats{Hours: len(series), Min: math.MaxInt32}
+	var sum float64
+	var wdSum [7]float64
+	var wdN [7]int
+	for _, p := range series {
+		if p.Active > s.Max {
+			s.Max, s.MaxAt = p.Active, p.Time
+		}
+		if p.Active < s.Min {
+			s.Min, s.MinAt = p.Active, p.Time
+		}
+		sum += float64(p.Active)
+		wd := int(p.Time.Weekday())
+		wdSum[wd] += float64(p.Active)
+		wdN[wd]++
+	}
+	if len(series) > 0 {
+		s.Mean = sum / float64(len(series))
+	}
+	for i := range wdSum {
+		if wdN[i] > 0 {
+			s.ByWeekday[i] = wdSum[i] / float64(wdN[i])
+		}
+	}
+	return s
+}
+
+// DailyPeaks reduces the hourly series to per-day maxima — the rendering
+// used when printing the Figure 1 reproduction.
+func DailyPeaks(series []HourPoint) []HourPoint {
+	var out []HourPoint
+	var cur time.Time
+	var best HourPoint
+	for _, p := range series {
+		day := p.Time.Truncate(24 * time.Hour)
+		if day != cur {
+			if !cur.IsZero() {
+				out = append(out, best)
+			}
+			cur = day
+			best = p
+		} else if p.Active > best.Active {
+			best = p
+		}
+	}
+	if !cur.IsZero() {
+		out = append(out, best)
+	}
+	return out
+}
+
+// RenderASCII draws the daily-peak series as an ASCII chart, the harness's
+// stand-in for Figure 1.
+func RenderASCII(series []HourPoint, width int) string {
+	peaks := DailyPeaks(series)
+	maxV := 1
+	for _, p := range peaks {
+		if p.Active > maxV {
+			maxV = p.Active
+		}
+	}
+	var sb strings.Builder
+	for _, p := range peaks {
+		bar := p.Active * width / maxV
+		fmt.Fprintf(&sb, "%s %s %3d %s\n",
+			p.Time.Format("01/02"), p.Time.Weekday().String()[:3], p.Active,
+			strings.Repeat("#", bar))
+	}
+	return sb.String()
+}
+
+// SubmissionArrivals converts the active-student series into per-hour job
+// arrival counts for the load benchmarks: each active student submits
+// jobsPerActiveHour compile/run requests per hour on average.
+func SubmissionArrivals(series []HourPoint, jobsPerActiveHour float64) []float64 {
+	out := make([]float64, len(series))
+	for i, p := range series {
+		out[i] = float64(p.Active) * jobsPerActiveHour
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Table I reproduction: the calibrated funnel's expectation must land on
+// the paper's numbers within a small tolerance.
+func TestCalibrationMatchesTableI(t *testing.T) {
+	years := CalibratedYears()
+	if len(years) != 3 {
+		t.Fatalf("years = %d", len(years))
+	}
+	for i, p := range years {
+		want := PaperTableI[i]
+		got := p.Expected()
+		if got.Registered != want.Registered {
+			t.Errorf("%d: registered %d != %d", p.Year, got.Registered, want.Registered)
+		}
+		relErr := math.Abs(float64(got.Completions-want.Completions)) / float64(want.Completions)
+		if relErr > 0.02 {
+			t.Errorf("%d: completions %d vs paper %d (err %.1f%%)",
+				p.Year, got.Completions, want.Completions, 100*relErr)
+		}
+		certErr := math.Abs(float64(got.Certificates - want.Certificates))
+		if want.Certificates > 0 && certErr/float64(want.Certificates) > 0.02 {
+			t.Errorf("%d: certificates %d vs paper %d", p.Year, got.Certificates, want.Certificates)
+		}
+	}
+}
+
+func TestSimulateNearExpectation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, p := range CalibratedYears() {
+		exp := p.Expected()
+		sim := p.Simulate(rng)
+		relErr := math.Abs(float64(sim.Completions-exp.Completions)) / float64(exp.Completions)
+		if relErr > 0.15 {
+			t.Errorf("%d: simulated %d vs expected %d (err %.1f%%)",
+				p.Year, sim.Completions, exp.Completions, 100*relErr)
+		}
+		if len(sim.WeeklyActive) != p.Weeks {
+			t.Errorf("%d: weeks = %d", p.Year, len(sim.WeeklyActive))
+		}
+		// The weekly series is non-increasing (students only drop).
+		for w := 1; w < len(sim.WeeklyActive); w++ {
+			if sim.WeeklyActive[w] > sim.WeeklyActive[w-1] {
+				t.Errorf("%d: weekly active increased at week %d", p.Year, w)
+			}
+		}
+	}
+}
+
+func TestFormatTableI(t *testing.T) {
+	out := FormatTableI(PaperTableI)
+	for _, want := range []string{"2013", "36896", "7.40%", "442", "Completion Rate"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	// 2013 had no certificates: rendered as "-".
+	if !strings.Contains(out, "-") {
+		t.Error("missing certificate dash for 2013")
+	}
+}
+
+// Figure 1 reproduction: the generated series must have the caption's
+// shape — peak ~112 in the first full week, trough ~8 near the end,
+// Wednesday the busiest weekday.
+func TestFigure1SeriesShape(t *testing.T) {
+	m := Figure1Model()
+	series := m.HourlySeries()
+	if len(series) != int(m.End.Sub(m.Start).Hours()) {
+		t.Fatalf("series = %d points", len(series))
+	}
+	s := Stats(series)
+
+	if s.Max < 95 || s.Max > 130 {
+		t.Errorf("peak = %d, paper reports 112", s.Max)
+	}
+	// The peak lands in the early weeks of the course.
+	if s.MaxAt.After(m.Start.AddDate(0, 0, 21)) {
+		t.Errorf("peak at %v, expected within the first three weeks", s.MaxAt)
+	}
+	// The paper's peak day (Feb 18) is a Wednesday; ours must be too.
+	if s.MaxAt.Weekday() != time.Wednesday {
+		t.Errorf("peak on %v, want Wednesday", s.MaxAt.Weekday())
+	}
+	// Late-course trough near 8 (allow night-time zeros).
+	if s.Min > 8 {
+		t.Errorf("trough = %d, paper reports 8", s.Min)
+	}
+	if s.MinAt.Before(m.Start.AddDate(0, 0, 35)) {
+		t.Errorf("trough at %v, expected late in the course", s.MinAt)
+	}
+
+	// Wednesday is the busiest weekday; the deadline day (Thursday) is
+	// quieter, and the weekend quieter still.
+	wed := s.ByWeekday[time.Wednesday]
+	for _, wd := range []time.Weekday{time.Friday, time.Saturday, time.Sunday, time.Monday} {
+		if s.ByWeekday[wd] >= wed {
+			t.Errorf("%v mean %.1f >= Wednesday mean %.1f", wd, s.ByWeekday[wd], wed)
+		}
+	}
+}
+
+func TestFigure1Deterministic(t *testing.T) {
+	a := Figure1Model().HourlySeries()
+	b := Figure1Model().HourlySeries()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("series not deterministic at %d", i)
+		}
+	}
+}
+
+func TestDailyPeaks(t *testing.T) {
+	m := Figure1Model()
+	peaks := DailyPeaks(m.HourlySeries())
+	wantDays := int(m.End.Sub(m.Start).Hours() / 24)
+	if len(peaks) != wantDays {
+		t.Errorf("daily peaks = %d, want %d", len(peaks), wantDays)
+	}
+	// Each peak is the max of its day.
+	if peaks[0].Active <= 0 {
+		t.Error("first day peak is zero")
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	out := RenderASCII(Figure1Model().HourlySeries(), 40)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 60 {
+		t.Fatalf("chart lines = %d", len(lines))
+	}
+	if !strings.Contains(out, "Wed") || !strings.Contains(out, "#") {
+		t.Errorf("chart malformed:\n%s", lines[0])
+	}
+}
+
+func TestSubmissionArrivals(t *testing.T) {
+	series := []HourPoint{{Active: 10}, {Active: 0}, {Active: 55}}
+	arr := SubmissionArrivals(series, 2.0)
+	if arr[0] != 20 || arr[1] != 0 || arr[2] != 110 {
+		t.Errorf("arrivals = %v", arr)
+	}
+}
