@@ -317,6 +317,67 @@ func BenchmarkCompileTiledMatMul(b *testing.B) {
 	}
 }
 
+// ---- Deadline spike: compile-once pipeline ---------------------------------------------
+//
+// §VII: "most submissions arrive in the final hours, and the same lab's
+// near-identical sources are compiled thousands of times". The spike
+// replays a burst of submissions end-to-end through platform dispatch.
+// cold-cache makes every source unique (every job compiles); warm-cache
+// repeats one source (the first job compiles, the rest hit the
+// content-addressed program cache).
+
+func BenchmarkDeadlineSpike(b *testing.B) {
+	l := labs.ByID("tiled-matmul")
+	spike := func(b *testing.B, datasetID int, unique bool) {
+		p := platform.New(platform.Options{Arch: platform.V1, Workers: 2})
+		defer p.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			src := l.Reference
+			if unique {
+				src = fmt.Sprintf("%s\n// attempt %d\n", l.Reference, i)
+			}
+			job := &worker.Job{ID: fmt.Sprintf("spike-%d", i), LabID: l.ID,
+				Source: src, DatasetID: datasetID}
+			res, err := p.Registry.Dispatch(job)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Error != "" || res.Outcomes[0].CompileError != "" {
+				b.Fatalf("spike job failed: %+v", res)
+			}
+		}
+	}
+	// The frantic pre-deadline compile loop (§IV-A action 2).
+	b.Run("compile/cold-cache", func(b *testing.B) { spike(b, worker.DatasetCompileOnly, true) })
+	b.Run("compile/warm-cache", func(b *testing.B) { spike(b, worker.DatasetCompileOnly, false) })
+	// Full submissions against dataset 0.
+	b.Run("run/cold-cache", func(b *testing.B) { spike(b, 0, true) })
+	b.Run("run/warm-cache", func(b *testing.B) { spike(b, 0, false) })
+}
+
+// BenchmarkRunAllFanout grades a submission against every dataset of a
+// multi-dataset lab: compiled once, datasets fanned out across however
+// many device slots the container offers. The wider device sets only pay
+// off with GOMAXPROCS > 1; on a single CPU the slots time-slice.
+func BenchmarkRunAllFanout(b *testing.B) {
+	l := labs.ByID("vector-add")
+	for _, gpus := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("gpus-%d", gpus), func(b *testing.B) {
+			devices := labs.NewDeviceSet(gpus)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				outs := labs.RunAll(l, l.Reference, devices, 0)
+				for _, o := range outs {
+					if !o.Correct {
+						b.Fatalf("dataset %d: %s %s", o.DatasetID, o.RuntimeError, o.CheckMessage)
+					}
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkSimulatedKernelVecAdd(b *testing.B) {
 	l := labs.ByID("vector-add")
 	devices := labs.NewDeviceSet(1)

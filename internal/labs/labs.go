@@ -11,6 +11,7 @@ import (
 	"hash/fnv"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"webgpu/internal/gpusim"
 	"webgpu/internal/minicuda"
@@ -97,6 +98,47 @@ type Lab struct {
 	Rubric       Rubric
 	Generate     func(datasetID int) (*wb.Dataset, error)
 	Harness      Harness
+
+	// Dataset cache: generators are deterministic (seeded by
+	// rng(labID, datasetID)) and datasets are immutable byte blobs the
+	// harnesses only parse, so each instructor dataset is materialized
+	// once per process and shared by every subsequent run.
+	dsMu   sync.Mutex
+	dsOnce map[int]*dsEntry
+	dsGens int64
+}
+
+type dsEntry struct {
+	ds  *wb.Dataset
+	err error
+}
+
+// Dataset returns the lab's dataset with the given ID, generating it on
+// first use and serving the cached copy afterwards.
+func (l *Lab) Dataset(id int) (*wb.Dataset, error) {
+	if id < 0 || id >= l.NumDatasets {
+		return nil, fmt.Errorf("labs: dataset %d out of range [0,%d)", id, l.NumDatasets)
+	}
+	l.dsMu.Lock()
+	defer l.dsMu.Unlock()
+	if l.dsOnce == nil {
+		l.dsOnce = make(map[int]*dsEntry, l.NumDatasets)
+	}
+	if e, ok := l.dsOnce[id]; ok {
+		return e.ds, e.err
+	}
+	ds, err := l.Generate(id)
+	l.dsGens++
+	l.dsOnce[id] = &dsEntry{ds: ds, err: err}
+	return ds, err
+}
+
+// DatasetGenerations reports how many times the underlying generator ran
+// (cache effectiveness; tests assert each dataset is built once).
+func (l *Lab) DatasetGenerations() int64 {
+	l.dsMu.Lock()
+	defer l.dsMu.Unlock()
+	return l.dsGens
 }
 
 // UsedBy reports whether the lab is part of the given course (Table II).
@@ -150,7 +192,9 @@ func Register(l *Lab) error {
 		return fmt.Errorf("labs: lab %q needs a harness", l.ID)
 	}
 	for i := 0; i < l.NumDatasets; i++ {
-		if _, err := l.Generate(i); err != nil {
+		// Validation doubles as cache warm-up: the datasets built here are
+		// the ones every future run is served from.
+		if _, err := l.Dataset(i); err != nil {
 			return fmt.Errorf("labs: lab %q dataset %d: %w", l.ID, i, err)
 		}
 	}

@@ -3,10 +3,12 @@ package labs
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"webgpu/internal/gpusim"
 	"webgpu/internal/minicuda"
+	"webgpu/internal/progcache"
 	"webgpu/internal/wb"
 )
 
@@ -44,11 +46,13 @@ type KernelStats struct {
 }
 
 // CompileOnly compiles a submission without running it (the "Compile"
-// button of the code view, §IV-A action 2).
+// button of the code view, §IV-A action 2). Compilation goes through the
+// process-wide program cache, so the deadline-spike pattern of repeated
+// identical sources compiles once.
 func CompileOnly(l *Lab, source string) *Outcome {
 	o := &Outcome{LabID: l.ID, DatasetID: -1}
 	start := time.Now()
-	_, err := minicuda.Compile(source, l.Dialect)
+	_, err := progcache.Default.Compile(source, l.Dialect)
 	o.WallTime = time.Since(start)
 	if err != nil {
 		o.CompileError = err.Error()
@@ -58,27 +62,40 @@ func CompileOnly(l *Lab, source string) *Outcome {
 	return o
 }
 
-// Run compiles the submission and executes the lab harness against the
-// identified dataset on the given devices. maxSteps bounds per-thread
-// execution (0 uses the platform default), implementing the per-lab time
-// limits of §III-C.
+// Run compiles the submission (through the program cache) and executes
+// the lab harness against the identified dataset on the given devices.
+// maxSteps bounds per-thread execution (0 uses the platform default),
+// implementing the per-lab time limits of §III-C. The dataset ID is
+// validated before any compile work is spent.
 func Run(l *Lab, source string, datasetID int, devices []*gpusim.Device, maxSteps int64) *Outcome {
-	o := &Outcome{LabID: l.ID, DatasetID: datasetID}
+	start := time.Now()
+	if datasetID < 0 || datasetID >= l.NumDatasets {
+		return &Outcome{LabID: l.ID, DatasetID: datasetID, WallTime: time.Since(start),
+			RuntimeError: fmt.Sprintf("labs: dataset %d out of range [0,%d)", datasetID, l.NumDatasets)}
+	}
+	prog, err := progcache.Default.Compile(source, l.Dialect)
+	if err != nil {
+		return &Outcome{LabID: l.ID, DatasetID: datasetID, WallTime: time.Since(start),
+			CompileError: err.Error()}
+	}
+	o := RunCompiled(l, prog, datasetID, devices, maxSteps)
+	o.WallTime = time.Since(start)
+	return o
+}
+
+// RunCompiled executes an already-compiled submission against one
+// dataset. Programs are immutable after compilation, so the same program
+// may be running on several device sets concurrently.
+func RunCompiled(l *Lab, prog *minicuda.Program, datasetID int, devices []*gpusim.Device, maxSteps int64) *Outcome {
+	o := &Outcome{LabID: l.ID, DatasetID: datasetID, Compiled: true}
 	start := time.Now()
 	defer func() { o.WallTime = time.Since(start) }()
-
-	prog, err := minicuda.Compile(source, l.Dialect)
-	if err != nil {
-		o.CompileError = err.Error()
-		return o
-	}
-	o.Compiled = true
 
 	if datasetID < 0 || datasetID >= l.NumDatasets {
 		o.RuntimeError = fmt.Sprintf("labs: dataset %d out of range [0,%d)", datasetID, l.NumDatasets)
 		return o
 	}
-	ds, err := l.Generate(datasetID)
+	ds, err := l.Dataset(datasetID)
 	if err != nil {
 		o.RuntimeError = err.Error()
 		return o
@@ -137,12 +154,67 @@ func Run(l *Lab, source string, datasetID int, devices []*gpusim.Device, maxStep
 }
 
 // RunAll runs a submission against every dataset of the lab, as the final
-// "Submit for grading" action does (§IV-A action 5).
+// "Submit for grading" action does (§IV-A action 5). The submission is
+// compiled exactly once and the program is reused across all datasets; a
+// compile failure is reported against every dataset, matching the
+// per-dataset grading shape.
 func RunAll(l *Lab, source string, devices []*gpusim.Device, maxSteps int64) []*Outcome {
-	outs := make([]*Outcome, l.NumDatasets)
-	for i := 0; i < l.NumDatasets; i++ {
-		outs[i] = Run(l, source, i, devices, maxSteps)
+	start := time.Now()
+	prog, err := progcache.Default.Compile(source, l.Dialect)
+	if err != nil {
+		outs := make([]*Outcome, l.NumDatasets)
+		for i := range outs {
+			outs[i] = &Outcome{LabID: l.ID, DatasetID: i, CompileError: err.Error(),
+				WallTime: time.Since(start)}
+		}
+		return outs
 	}
+	return RunAllCompiled(l, prog, devices, maxSteps)
+}
+
+// RunAllCompiled runs a compiled submission against every dataset. When
+// the device set holds more GPUs than one run needs, the datasets fan out
+// in parallel across disjoint device slots — a container holding 2k GPUs
+// grades a k-GPU lab's datasets two at a time. Output order is
+// deterministic: outs[i] is always dataset i.
+func RunAllCompiled(l *Lab, prog *minicuda.Program, devices []*gpusim.Device, maxSteps int64) []*Outcome {
+	outs := make([]*Outcome, l.NumDatasets)
+	need := l.NumGPUs
+	if need == 0 {
+		need = 1
+	}
+	slots := 0
+	if len(devices) >= need {
+		slots = len(devices) / need
+	}
+	if slots > l.NumDatasets {
+		slots = l.NumDatasets
+	}
+	if slots <= 1 {
+		// Not enough devices to parallelize (or nothing to run them on —
+		// RunCompiled reports the per-dataset device errors).
+		for i := 0; i < l.NumDatasets; i++ {
+			outs[i] = RunCompiled(l, prog, i, devices, maxSteps)
+		}
+		return outs
+	}
+	ids := make(chan int)
+	var wg sync.WaitGroup
+	for s := 0; s < slots; s++ {
+		slot := devices[s*need : (s+1)*need]
+		wg.Add(1)
+		go func(devs []*gpusim.Device) {
+			defer wg.Done()
+			for i := range ids {
+				outs[i] = RunCompiled(l, prog, i, devs, maxSteps)
+			}
+		}(slot)
+	}
+	for i := 0; i < l.NumDatasets; i++ {
+		ids <- i
+	}
+	close(ids)
+	wg.Wait()
 	return outs
 }
 

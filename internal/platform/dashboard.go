@@ -3,6 +3,8 @@ package platform
 import (
 	"fmt"
 	"strings"
+
+	"webgpu/internal/progcache"
 )
 
 // Status is the administrator-dashboard snapshot of §VI-A ("An
@@ -18,6 +20,7 @@ type Status struct {
 	StandbyDepth  int    // v2: mirrored jobs on the standby broker
 	Evictions     int64  // v1: workers dropped for missed health checks
 	GradebookRows int64
+	ProgCache     progcache.Stats // compiled-program cache effectiveness
 }
 
 // Status captures the current system state.
@@ -27,6 +30,7 @@ func (p *Platform) Status() Status {
 		Workers:       p.Workers(),
 		DBSeq:         p.DB.Seq(),
 		GradebookRows: p.Gradebook.Writes(),
+		ProgCache:     p.progs.Stats(),
 	}
 	switch p.Arch {
 	case V1:
@@ -47,6 +51,8 @@ func (s Status) Render() string {
 	fmt.Fprintf(&sb, "workers:        %d\n", s.Workers)
 	fmt.Fprintf(&sb, "db commits:     %d\n", s.DBSeq)
 	fmt.Fprintf(&sb, "gradebook rows: %d\n", s.GradebookRows)
+	fmt.Fprintf(&sb, "prog cache:     %d hits, %d misses, %d coalesced, %d evicted, %d cached\n",
+		s.ProgCache.Hits, s.ProgCache.Misses, s.ProgCache.Coalesced, s.ProgCache.Evictions, s.ProgCache.Size)
 	if s.BrokerStats != "" {
 		fmt.Fprintf(&sb, "broker backlog: %d (standby mirror depth %d)\n", s.BrokerBacklog, s.StandbyDepth)
 		fmt.Fprintf(&sb, "broker stats:   %s\n", s.BrokerStats)

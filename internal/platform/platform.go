@@ -23,6 +23,7 @@ import (
 	"webgpu/internal/grader"
 	"webgpu/internal/labs"
 	"webgpu/internal/peerreview"
+	"webgpu/internal/progcache"
 	"webgpu/internal/queue"
 	"webgpu/internal/sandbox"
 	"webgpu/internal/webserver"
@@ -76,6 +77,7 @@ type Platform struct {
 	router        *resultRouter
 
 	opts          Options
+	progs         *progcache.Cache // shared by every worker node of this deployment
 	mu            sync.Mutex
 	v1Count       int
 	closed        bool
@@ -106,6 +108,7 @@ func New(opts Options) *Platform {
 		Gradebook: grader.NewCourseraBook(string(opts.Course)),
 		Reviews:   peerreview.NewStore(opts.ReviewWeight),
 		opts:      opts,
+		progs:     progcache.New(progcache.DefaultCapacity, nil),
 	}
 
 	var dispatcher webserver.Dispatcher
@@ -152,8 +155,12 @@ func (p *Platform) newNode(i int) *worker.Node {
 	cfg := worker.DefaultNodeConfig(fmt.Sprintf("worker-%03d", i))
 	cfg.GPUs = p.opts.GPUsPerWorker
 	cfg.ScanMode = p.opts.ScanMode
+	cfg.ProgCache = p.progs
 	return worker.NewNode(cfg)
 }
+
+// ProgCache exposes the deployment-wide compiled-program cache.
+func (p *Platform) ProgCache() *progcache.Cache { return p.progs }
 
 // Handler returns the HTTP handler of the web tier.
 func (p *Platform) Handler() http.Handler { return p.Server.Handler() }

@@ -1,0 +1,212 @@
+// Package progcache is a content-addressed cache of compiled minicuda
+// programs. The paper's deadline spikes (§VII) have thousands of
+// near-identical submissions arriving in the final hours — the same lab's
+// sources are compiled over and over. Keying compiled programs by a hash
+// of (dialect, source) turns those repeats into cache hits, and
+// singleflight deduplication makes concurrent jobs carrying identical
+// source trigger exactly one compile: every other job waits for the
+// in-flight result instead of redoing the work.
+//
+// Compiled programs are immutable after semantic analysis, so a cached
+// *minicuda.Program is safe to share across concurrent kernel launches;
+// compile *errors* are cached too (compilation is deterministic, so a
+// source that failed once fails identically forever).
+package progcache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+
+	"webgpu/internal/metrics"
+	"webgpu/internal/minicuda"
+)
+
+// Status reports how a Compile call was satisfied.
+type Status int
+
+// Compile statuses.
+const (
+	Miss      Status = iota // compiled by this call
+	Hit                     // served from the cache
+	Coalesced               // waited on another goroutine's in-flight compile
+)
+
+func (s Status) String() string {
+	switch s {
+	case Hit:
+		return "hit"
+	case Coalesced:
+		return "coalesced"
+	default:
+		return "miss"
+	}
+}
+
+// DefaultCapacity bounds the process-wide Default cache. A compiled lab
+// submission is a few kilobytes of AST, so even thousands of distinct
+// sources stay cheap; the bound exists so an adversarial stream of unique
+// sources cannot grow memory without limit.
+const DefaultCapacity = 4096
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits      int64 // served from the cache
+	Misses    int64 // had to compile
+	Coalesced int64 // waited on a concurrent identical compile
+	Evictions int64 // entries dropped by the LRU bound
+	Compiles  int64 // underlying compile executions (== Misses)
+	Size      int   // entries currently cached
+}
+
+type entry struct {
+	key  string
+	prog *minicuda.Program
+	err  error
+	elem *list.Element
+}
+
+// flight is one in-progress compile that concurrent callers wait on.
+type flight struct {
+	done chan struct{}
+	prog *minicuda.Program
+	err  error
+}
+
+// CompileFunc is the underlying compiler the cache fills itself from.
+type CompileFunc func(src string, dialect minicuda.Dialect) (*minicuda.Program, error)
+
+// Cache is a size-bounded, LRU, content-addressed program cache with
+// singleflight deduplication. Safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*entry
+	lru      *list.List // front = most recently used
+	inflight map[string]*flight
+	compile  CompileFunc
+	reg      *metrics.Registry
+	stats    Stats
+}
+
+// Default is the process-wide cache shared by callers that do not manage
+// their own (the labs package, worker nodes without an explicit cache).
+var Default = New(DefaultCapacity, nil)
+
+// New creates a cache holding at most capacity compiled programs
+// (capacity <= 0 means unbounded). When reg is non-nil the cache mirrors
+// its counters into it under progcache_* names.
+func New(capacity int, reg *metrics.Registry) *Cache {
+	return &Cache{
+		capacity: capacity,
+		entries:  map[string]*entry{},
+		lru:      list.New(),
+		inflight: map[string]*flight{},
+		compile:  minicuda.Compile,
+		reg:      reg,
+	}
+}
+
+// SetCompileFunc overrides the underlying compiler (tests use this to
+// inject slow or instrumented compiles). Not safe to call concurrently
+// with Compile.
+func (c *Cache) SetCompileFunc(fn CompileFunc) {
+	if fn == nil {
+		fn = minicuda.Compile
+	}
+	c.compile = fn
+}
+
+// Key returns the content address of a (source, dialect) pair: the hex
+// SHA-256 of the dialect tag and the raw source text.
+func Key(src string, dialect minicuda.Dialect) string {
+	h := sha256.New()
+	h.Write([]byte{byte(dialect), 0})
+	h.Write([]byte(src))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Compile returns the compiled program for the source, compiling at most
+// once per distinct (source, dialect) while the entry stays cached.
+func (c *Cache) Compile(src string, dialect minicuda.Dialect) (*minicuda.Program, error) {
+	prog, _, err := c.CompileStatus(src, dialect)
+	return prog, err
+}
+
+// CompileStatus is Compile plus how the call was satisfied.
+func (c *Cache) CompileStatus(src string, dialect minicuda.Dialect) (*minicuda.Program, Status, error) {
+	key := Key(src, dialect)
+
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(e.elem)
+		c.stats.Hits++
+		c.inc("progcache_hits")
+		c.mu.Unlock()
+		return e.prog, Hit, e.err
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.stats.Coalesced++
+		c.inc("progcache_coalesced")
+		c.mu.Unlock()
+		<-f.done
+		return f.prog, Coalesced, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.stats.Misses++
+	c.inc("progcache_misses")
+	c.mu.Unlock()
+
+	prog, err := c.compile(src, dialect)
+
+	c.mu.Lock()
+	c.stats.Compiles++
+	delete(c.inflight, key)
+	e := &entry{key: key, prog: prog, err: err}
+	e.elem = c.lru.PushFront(e)
+	c.entries[key] = e
+	for c.capacity > 0 && c.lru.Len() > c.capacity {
+		back := c.lru.Back()
+		old := back.Value.(*entry)
+		c.lru.Remove(back)
+		delete(c.entries, old.key)
+		c.stats.Evictions++
+		c.inc("progcache_evictions")
+	}
+	c.stats.Size = len(c.entries)
+	if c.reg != nil {
+		c.reg.Set("progcache_size", float64(len(c.entries)))
+	}
+	c.mu.Unlock()
+
+	f.prog, f.err = prog, err
+	close(f.done)
+	return prog, Miss, err
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Size = len(c.entries)
+	return s
+}
+
+// Len reports the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// inc mirrors a counter into the attached metrics registry. Called with
+// c.mu held; the registry has its own lock and never calls back into the
+// cache, so the nesting is safe.
+func (c *Cache) inc(name string) {
+	if c.reg != nil {
+		c.reg.Inc(name, 1)
+	}
+}

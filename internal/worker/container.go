@@ -37,8 +37,11 @@ func DefaultImages() []Image {
 	}
 }
 
-// Container is one sandboxed execution environment bound to the node's
-// GPUs for the duration of a job.
+// Container is one sandboxed execution environment holding its own
+// simulated GPU set for the duration of a job. Because each container
+// owns its devices (rather than sharing the node's), pooled containers
+// can execute jobs concurrently without one job's teardown resetting
+// another job's device memory.
 type Container struct {
 	ID      string
 	Image   string
@@ -50,23 +53,28 @@ type Container struct {
 type Pool struct {
 	mu        sync.Mutex
 	images    map[string]Image
+	imageList []Image
 	free      map[string][]*Container
 	perImage  int
 	nextID    int
-	devices   []*gpusim.Device
+	gpus      int // simulated GPUs per container
 	created   int64
 	destroyed int64
 	coldStart int64 // acquisitions that had to create a container on demand
 }
 
-// NewPool builds a container pool over the node's GPU set, pre-warming
-// perImage containers per image.
-func NewPool(images []Image, devices []*gpusim.Device, perImage int) *Pool {
+// NewPool builds a container pool whose containers each expose gpus
+// simulated GPUs, pre-warming perImage containers per image.
+func NewPool(images []Image, gpus, perImage int) *Pool {
+	if gpus <= 0 {
+		gpus = 1
+	}
 	p := &Pool{
-		images:   map[string]Image{},
-		free:     map[string][]*Container{},
-		perImage: perImage,
-		devices:  devices,
+		images:    map[string]Image{},
+		imageList: images,
+		free:      map[string][]*Container{},
+		perImage:  perImage,
+		gpus:      gpus,
 	}
 	for _, img := range images {
 		p.images[img.Name] = img
@@ -80,11 +88,24 @@ func NewPool(images []Image, devices []*gpusim.Device, perImage int) *Pool {
 func (p *Pool) createLocked(image string) *Container {
 	p.nextID++
 	p.created++
+	devs := make([]*gpusim.Device, p.gpus)
+	for i := range devs {
+		devs[i] = gpusim.NewDefaultDevice()
+		devs[i].SetIndex(i)
+	}
 	return &Container{
 		ID:      fmt.Sprintf("ctr-%06d", p.nextID),
 		Image:   image,
-		Devices: p.devices,
+		Devices: devs,
 	}
+}
+
+// Capacity reports the warm-pool size — the number of jobs the node can
+// hold in flight before acquisitions cold-start extra containers.
+func (p *Pool) Capacity() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.perImage * len(p.imageList)
 }
 
 // SelectImage returns the name of an image providing every required

@@ -2,17 +2,19 @@ package worker
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"webgpu/internal/labs"
 	"webgpu/internal/metrics"
+	"webgpu/internal/minicuda"
+	"webgpu/internal/progcache"
 	"webgpu/internal/sandbox"
 )
 
 // Node is the execution core shared by the v1 (push) and v2 (poll)
 // workers: it owns the GPUs, the container pool, the security scanner,
-// and the per-job pipeline.
+// the program cache, and the per-job pipeline.
 type Node struct {
 	ID      string
 	GPUs    int
@@ -21,22 +23,35 @@ type Node struct {
 	scanner *sandbox.Scanner
 	limits  sandbox.Limits
 	metrics *metrics.Registry
+	progs   *progcache.Cache
 
-	// One job at a time per node: containers are bound to the node's
-	// physical GPUs, so a second concurrent job would share (and, at
-	// teardown, reset) the same devices.
-	execMu sync.Mutex
+	// Per-container admission: each pooled container owns its own
+	// simulated device set, so up to cap(sem) jobs execute concurrently —
+	// a node with k pooled containers runs k jobs at once instead of
+	// serializing behind a node-wide mutex.
+	sem        chan struct{}
+	inflight   atomic.Int32
+	inflightHW atomic.Int32 // high-water mark of concurrent jobs
 }
 
 // NodeConfig configures a worker node.
 type NodeConfig struct {
 	ID       string
-	GPUs     int // simulated GPUs on the node
+	GPUs     int // simulated GPUs per container
 	Images   []Image
 	PerImage int // warm containers per image
 	Tags     []string
 	ScanMode sandbox.ScanMode
 	Limits   sandbox.Limits
+
+	// MaxConcurrent bounds jobs in flight; 0 sizes it to the warm-pool
+	// capacity (PerImage × images, min 1) — the paper's container-pool
+	// unit of worker concurrency.
+	MaxConcurrent int
+
+	// ProgCache is the compiled-program cache the node's pipeline uses;
+	// nil uses the process-wide progcache.Default.
+	ProgCache *progcache.Cache
 }
 
 // DefaultNodeConfig returns a single-GPU CUDA worker configuration.
@@ -58,7 +73,6 @@ func NewNode(cfg NodeConfig) *Node {
 	if gpus <= 0 {
 		gpus = 1
 	}
-	devices := labs.NewDeviceSet(gpus)
 	tags := map[string]bool{}
 	for _, t := range cfg.Tags {
 		tags[t] = true
@@ -91,14 +105,27 @@ func NewNode(cfg NodeConfig) *Node {
 	if limits.MaxSteps == 0 {
 		limits = sandbox.DefaultLimits()
 	}
+	maxConc := cfg.MaxConcurrent
+	if maxConc <= 0 {
+		maxConc = perImage * len(images)
+	}
+	if maxConc < 1 {
+		maxConc = 1
+	}
+	progs := cfg.ProgCache
+	if progs == nil {
+		progs = progcache.Default
+	}
 	return &Node{
 		ID:      cfg.ID,
 		GPUs:    gpus,
 		Tags:    tags,
-		pool:    NewPool(images, devices, perImage),
+		pool:    NewPool(images, gpus, perImage),
 		scanner: sandbox.NewScanner(nil, cfg.ScanMode),
 		limits:  limits,
 		metrics: metrics.NewRegistry(),
+		progs:   progs,
+		sem:     make(chan struct{}, maxConc),
 	}
 }
 
@@ -117,18 +144,44 @@ func (n *Node) Metrics() *metrics.Registry { return n.metrics }
 // Pool exposes the container pool (tests and the dashboard).
 func (n *Node) Pool() *Pool { return n.pool }
 
-// Execute runs one job through the full pipeline: security scan, image
-// selection, container acquisition, compile/run, container teardown.
+// ProgCache exposes the node's program cache.
+func (n *Node) ProgCache() *progcache.Cache { return n.progs }
+
+// MaxConcurrent reports how many jobs the node admits at once.
+func (n *Node) MaxConcurrent() int { return cap(n.sem) }
+
+// InflightHighWater reports the largest number of jobs the node has
+// executed concurrently.
+func (n *Node) InflightHighWater() int { return int(n.inflightHW.Load()) }
+
+// Execute runs one job through the full pipeline: admission, security
+// scan, image selection, container acquisition, cached compile, run,
+// container teardown. Result.QueueWait carries the time the job spent
+// blocked on admission (a loaded node queues jobs at its semaphore the
+// way the v1 web tier queued them behind busy workers).
 func (n *Node) Execute(job *Job) *Result {
-	n.execMu.Lock()
-	defer n.execMu.Unlock()
-	start := time.Now()
 	res := &Result{JobID: job.ID, WorkerID: n.ID}
+	enqueued := time.Now()
+	n.sem <- struct{}{}
+	defer func() { <-n.sem }()
+	res.QueueWait = time.Since(enqueued)
+
+	cur := n.inflight.Add(1)
+	defer n.inflight.Add(-1)
+	for {
+		hw := n.inflightHW.Load()
+		if cur <= hw || n.inflightHW.CompareAndSwap(hw, cur) {
+			break
+		}
+	}
+
+	start := time.Now()
 	defer func() {
 		res.ExecDuration = time.Since(start)
 		res.CompletedAt = time.Now()
 		n.metrics.Inc("jobs_total", 1)
 		n.metrics.ObserveDuration("job_exec_ms", res.ExecDuration)
+		n.metrics.ObserveDuration("job_queue_wait_ms", res.QueueWait)
 	}()
 
 	lab := labs.ByID(job.LabID)
@@ -143,6 +196,15 @@ func (n *Node) Execute(job *Job) *Result {
 		res.Rejected = true
 		res.Error = err.Error()
 		n.metrics.Inc("jobs_rejected", 1)
+		return res
+	}
+
+	// Reject out-of-range datasets before any compile work is spent.
+	if job.DatasetID != DatasetAll && job.DatasetID != DatasetCompileOnly &&
+		(job.DatasetID < 0 || job.DatasetID >= lab.NumDatasets) {
+		res.Outcomes = []*labs.Outcome{{LabID: lab.ID, DatasetID: job.DatasetID,
+			RuntimeError: fmt.Sprintf("labs: dataset %d out of range [0,%d)", job.DatasetID, lab.NumDatasets)}}
+		n.metrics.Inc("outcomes_incorrect", 1)
 		return res
 	}
 
@@ -178,13 +240,30 @@ func (n *Node) Execute(job *Job) *Result {
 		maxSteps = n.limits.MaxSteps
 	}
 
-	switch job.DatasetID {
-	case DatasetCompileOnly:
-		res.Outcomes = []*labs.Outcome{labs.CompileOnly(lab, job.Source)}
-	case DatasetAll:
-		res.Outcomes = labs.RunAll(lab, job.Source, ctr.Devices, maxSteps)
+	// Compile exactly once per job through the content-addressed program
+	// cache — identical sources across jobs compile once per process.
+	compileStart := time.Now()
+	prog, status, cerr := n.compileSubmission(job.Source, lab.Dialect)
+	compileWall := time.Since(compileStart)
+	switch status {
+	case progcache.Hit:
+		n.metrics.Inc("progcache_hits", 1)
+	case progcache.Coalesced:
+		n.metrics.Inc("progcache_coalesced", 1)
 	default:
-		res.Outcomes = []*labs.Outcome{labs.Run(lab, job.Source, job.DatasetID, ctr.Devices, maxSteps)}
+		n.metrics.Inc("progcache_misses", 1)
+	}
+
+	switch {
+	case cerr != nil:
+		res.Outcomes = compileErrorOutcomes(lab, job.DatasetID, cerr, compileWall)
+	case job.DatasetID == DatasetCompileOnly:
+		res.Outcomes = []*labs.Outcome{{LabID: lab.ID, DatasetID: -1,
+			Compiled: true, WallTime: compileWall}}
+	case job.DatasetID == DatasetAll:
+		res.Outcomes = labs.RunAllCompiled(lab, prog, ctr.Devices, maxSteps)
+	default:
+		res.Outcomes = []*labs.Outcome{labs.RunCompiled(lab, prog, job.DatasetID, ctr.Devices, maxSteps)}
 	}
 	for _, o := range res.Outcomes {
 		clamped, truncated := n.limits.ClampOutput(o.Trace)
@@ -198,6 +277,56 @@ func (n *Node) Execute(job *Job) *Result {
 		}
 	}
 	return res
+}
+
+// compileSubmission compiles through the node's program cache, enforcing
+// the sandbox.Limits.CompileTimeout (§III-C: "time limits are placed ...
+// on the duration of the compilation"). A timed-out compile is abandoned;
+// it still completes in the background and populates the cache.
+func (n *Node) compileSubmission(src string, dialect minicuda.Dialect) (*minicuda.Program, progcache.Status, error) {
+	if n.limits.CompileTimeout <= 0 {
+		return n.progs.CompileStatus(src, dialect)
+	}
+	type compiled struct {
+		prog   *minicuda.Program
+		status progcache.Status
+		err    error
+	}
+	ch := make(chan compiled, 1)
+	go func() {
+		p, st, err := n.progs.CompileStatus(src, dialect)
+		ch <- compiled{p, st, err}
+	}()
+	timer := time.NewTimer(n.limits.CompileTimeout)
+	defer timer.Stop()
+	select {
+	case c := <-ch:
+		return c.prog, c.status, c.err
+	case <-timer.C:
+		n.metrics.Inc("compile_timeouts", 1)
+		return nil, progcache.Miss,
+			fmt.Errorf("sandbox: compilation exceeded the %v limit", n.limits.CompileTimeout)
+	}
+}
+
+// compileErrorOutcomes reports a compile failure in the same per-dataset
+// shape a successful grading run produces.
+func compileErrorOutcomes(lab *labs.Lab, datasetID int, cerr error, wall time.Duration) []*labs.Outcome {
+	mk := func(id int) *labs.Outcome {
+		return &labs.Outcome{LabID: lab.ID, DatasetID: id,
+			CompileError: cerr.Error(), WallTime: wall}
+	}
+	if datasetID == DatasetAll {
+		outs := make([]*labs.Outcome, lab.NumDatasets)
+		for i := range outs {
+			outs[i] = mk(i)
+		}
+		return outs
+	}
+	if datasetID == DatasetCompileOnly {
+		return []*labs.Outcome{mk(-1)}
+	}
+	return []*labs.Outcome{mk(datasetID)}
 }
 
 // CanServe reports whether the node satisfies every requirement of a job.

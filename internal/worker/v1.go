@@ -155,7 +155,16 @@ func (r *Registry) Dispatch(job *Job) (*Result, error) {
 	pick.inflight++
 	r.mu.Unlock()
 
+	dispatchStart := time.Now()
 	res := pick.node.Execute(job)
+
+	// The push path reports queue wait too, so Figure 2 comparisons no
+	// longer under-report v1 latency: everything between dispatch and the
+	// start of execution — worker selection plus the node's admission
+	// wait — is queueing, not execution.
+	if wait := time.Since(dispatchStart) - res.ExecDuration; wait > res.QueueWait {
+		res.QueueWait = wait
+	}
 
 	r.mu.Lock()
 	pick.inflight--

@@ -160,8 +160,12 @@ func (d *Driver) loop(cfg Config) {
 			_ = delivery.Nack() // poison message heads to the DLQ
 			continue
 		}
+		// Broker wait is measured at dequeue (not after execution, which
+		// used to fold the run itself into the queue-wait figure); the
+		// node adds its own admission wait inside Execute.
+		brokerWait := time.Since(delivery.Msg.Enqueued)
 		res := d.node.Execute(job)
-		res.QueueWait = time.Since(delivery.Msg.Enqueued)
+		res.QueueWait += brokerWait
 		if _, err := d.broker.Publish(TopicResults, EncodeResult(res)); err != nil {
 			_ = delivery.Nack()
 			continue

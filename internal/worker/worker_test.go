@@ -213,7 +213,7 @@ func TestContainerPoolRecycles(t *testing.T) {
 }
 
 func TestPoolColdStart(t *testing.T) {
-	p := NewPool(DefaultImages(), labs.NewDeviceSet(1), 1)
+	p := NewPool(DefaultImages(), 1, 1)
 	a, _ := p.Acquire("webgpu/cuda:7.0")
 	b, _ := p.Acquire("webgpu/cuda:7.0") // pool empty: cold start
 	_, _, cold := p.Stats()
@@ -229,7 +229,7 @@ func TestPoolColdStart(t *testing.T) {
 }
 
 func TestPoolImageSelection(t *testing.T) {
-	p := NewPool(DefaultImages(), labs.NewDeviceSet(1), 1)
+	p := NewPool(DefaultImages(), 1, 1)
 	img, err := p.SelectImage([]string{"cuda"})
 	if err != nil || img != "webgpu/cuda:7.0" {
 		t.Errorf("cuda image = %q, %v (want the smallest satisfying image)", img, err)
