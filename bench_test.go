@@ -9,6 +9,7 @@
 package webgpu_bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -58,7 +59,7 @@ func BenchmarkFigure2V1Pipeline(b *testing.B) {
 		Source: labs.ByID("vector-add").Reference, DatasetID: 0}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := p.Registry.Dispatch(job)
+		res, err := p.Registry.Dispatch(context.Background(), job)
 		if err != nil || !res.Correct() {
 			b.Fatalf("dispatch: %v %v", err, res)
 		}
@@ -78,7 +79,7 @@ func BenchmarkTable2Labs(b *testing.B) {
 			devices := labs.NewDeviceSet(n)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				o := labs.Run(l, l.Reference, 0, devices, 0)
+				o := labs.Run(context.Background(), l, l.Reference, 0, devices, 0)
 				if !o.Correct {
 					b.Fatalf("%s: %s %s", l.ID, o.RuntimeError, o.CheckMessage)
 				}
@@ -131,7 +132,7 @@ func BenchmarkFigure7ContainerPool(b *testing.B) {
 			Source: labs.ByID("vector-add").Reference, DatasetID: 0}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if res := n.Execute(job); !res.Correct() {
+			if res := n.Execute(context.Background(), job); !res.Correct() {
 				b.Fatal(res.Error)
 			}
 		}
@@ -144,7 +145,7 @@ func BenchmarkFigure7ContainerPool(b *testing.B) {
 			Source: labs.ByID("vector-add").Reference, DatasetID: 0}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if res := n.Execute(job); !res.Correct() {
+			if res := n.Execute(context.Background(), job); !res.Correct() {
 				b.Fatal(res.Error)
 			}
 		}
@@ -213,7 +214,7 @@ func BenchmarkDispatch(b *testing.B) {
 			Source: labs.ByID("vector-add").Reference, DatasetID: worker.DatasetCompileOnly}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := reg.Dispatch(job); err != nil {
+			if _, err := reg.Dispatch(context.Background(), job); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -339,7 +340,7 @@ func BenchmarkDeadlineSpike(b *testing.B) {
 			}
 			job := &worker.Job{ID: fmt.Sprintf("spike-%d", i), LabID: l.ID,
 				Source: src, DatasetID: datasetID}
-			res, err := p.Registry.Dispatch(job)
+			res, err := p.Registry.Dispatch(context.Background(), job)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -367,7 +368,7 @@ func BenchmarkRunAllFanout(b *testing.B) {
 			devices := labs.NewDeviceSet(gpus)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				outs := labs.RunAll(l, l.Reference, devices, 0)
+				outs := labs.RunAll(context.Background(), l, l.Reference, devices, 0)
 				for _, o := range outs {
 					if !o.Correct {
 						b.Fatalf("dataset %d: %s %s", o.DatasetID, o.RuntimeError, o.CheckMessage)
@@ -383,7 +384,7 @@ func BenchmarkSimulatedKernelVecAdd(b *testing.B) {
 	devices := labs.NewDeviceSet(1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		o := labs.Run(l, l.Reference, 4, devices, 0) // largest dataset (1333 elems)
+		o := labs.Run(context.Background(), l, l.Reference, 4, devices, 0) // largest dataset (1333 elems)
 		if !o.Correct {
 			b.Fatal(o.RuntimeError)
 		}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -75,7 +76,7 @@ func runAsSubmission(labID, src string, dataset int) {
 	}
 	devices := labs.NewDeviceSet(gpus)
 	run := func(ds int) bool {
-		o := labs.Run(l, src, ds, devices, 0)
+		o := labs.Run(context.Background(), l, src, ds, devices, 0)
 		switch {
 		case !o.Compiled:
 			fmt.Printf("dataset %d: COMPILE ERROR: %s\n", ds, o.CompileError)

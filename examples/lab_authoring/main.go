@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -122,7 +123,7 @@ as a CUDA kernel. The scalar a is passed as a kernel argument.
 
 	fmt.Println("verifying the reference solution against every dataset:")
 	for ds := 0; ds < saxpy.NumDatasets; ds++ {
-		o := labs.Run(saxpy, saxpy.Reference, ds, devices, 0)
+		o := labs.Run(context.Background(), saxpy, saxpy.Reference, ds, devices, 0)
 		fmt.Printf("  dataset %d: correct=%v (%s)\n", ds, o.Correct, o.CheckMessage)
 		if !o.Correct {
 			log.Fatal("reference must pass")
@@ -134,7 +135,7 @@ as a CUDA kernel. The scalar a is passed as a kernel argument.
   int i = blockIdx.x * blockDim.x + threadIdx.x;
   if (i < n) y[i] = a * x[i];
 }`
-	o := labs.Run(saxpy, buggy, 0, devices, 0)
+	o := labs.Run(context.Background(), saxpy, buggy, 0, devices, 0)
 	fmt.Printf("  dataset 0: correct=%v — %s\n", o.Correct, o.CheckMessage)
 
 	fmt.Println("\nthe lab is now in the catalog alongside the Table II labs:")

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -46,7 +47,7 @@ func main() {
 	// 4. The student works the lab; on submit, every dataset runs and the
 	//    rubric is applied (here: the reference solution).
 	l := labs.ByID(launch.LabID)
-	outcomes := labs.RunAll(l, l.Reference, labs.NewDeviceSet(1), 0)
+	outcomes := labs.RunAll(context.Background(), l, l.Reference, labs.NewDeviceSet(1), 0)
 	grade := grader.Score(l, l.Reference, outcomes, len(l.Questions))
 	grade.UserID = launch.UserID
 	fmt.Printf("graded: %d/%d points across %d datasets\n",

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -215,10 +216,13 @@ func Figure4() string {
 			return err.Error()
 		}
 	}
-	var history []webserver.CodeRec
-	if _, err := c.do("GET", "/api/labs/vector-add/history", nil, &history); err != nil {
+	var historyPage struct {
+		Items []webserver.CodeRec `json:"items"`
+	}
+	if _, err := c.do("GET", "/api/labs/vector-add/history", nil, &historyPage); err != nil {
 		return err.Error()
 	}
+	history := historyPage.Items
 	fmt.Fprintf(&sb, "%-5s %-22s %s\n", "rev", "saved at", "code (first line)")
 	for _, h := range history {
 		first := strings.SplitN(h.Source, "\n", 2)[0]
@@ -428,7 +432,7 @@ func Figure7() string {
 	const jobs = 20
 	startWarm := time.Now()
 	for i := 0; i < jobs; i++ {
-		if res := warm.Execute(job); !res.Correct() {
+		if res := warm.Execute(context.Background(), job); !res.Correct() {
 			return "ERROR: warm job failed: " + res.Error
 		}
 	}
@@ -441,7 +445,7 @@ func Figure7() string {
 	cold := worker.NewNode(cfgCold)
 	startCold := time.Now()
 	for i := 0; i < jobs; i++ {
-		if res := cold.Execute(job); !res.Correct() {
+		if res := cold.Execute(context.Background(), job); !res.Correct() {
 			return "ERROR: cold job failed: " + res.Error
 		}
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -131,7 +132,7 @@ func Dispatch() string {
 	d2, ok, _ := b.Poll(worker.TopicJobs, "healthy-worker", map[string]bool{"cuda": true}, 30*time.Second)
 	fmt.Fprintf(&sb, "v2: after lease expiry a healthy worker received it: %v (attempt %d)\n", ok, d2.Msg.Attempts)
 	node := worker.NewNode(worker.DefaultNodeConfig("healthy-worker"))
-	res := node.Execute(job)
+	res := node.Execute(context.Background(), job)
 	_ = d2.Ack()
 	fmt.Fprintf(&sb, "v2: job completed correctly after redelivery: %v\n", res.Correct())
 	fmt.Fprintf(&sb, "v2: broker stats: %+v\n\n", b.Stats())
@@ -144,7 +145,7 @@ func Dispatch() string {
 	reg.Register(worker.NewNode(worker.DefaultNodeConfig("w1")))
 	fmt.Fprintf(&sb, "v1: pool = %v\n", reg.Alive())
 	now = now.Add(45 * time.Second) // w1 stops sending health checks
-	_, err := reg.Dispatch(job)
+	_, err := reg.Dispatch(context.Background(), job)
 	fmt.Fprintf(&sb, "v1: after missed health checks, pool = %v, dispatch error: %v\n",
 		reg.Alive(), err)
 	fmt.Fprintf(&sb, "v1: evictions = %d; the web tier must retry the job itself\n", reg.Evictions())
@@ -331,7 +332,7 @@ func Limits() string {
   while (1) { x += 1.0f; }
   out[0] = x;
 }`
-	o := labs.Run(labs.ByID("vector-add"), spin, 0, labs.NewDeviceSet(1), 100000)
+	o := labs.Run(context.Background(), labs.ByID("vector-add"), spin, 0, labs.NewDeviceSet(1), 100000)
 	fmt.Fprintf(&sb, "infinite-loop kernel: compiled=%v, runtime error: %s\n", o.Compiled, o.RuntimeError)
 
 	// Limits are per-lab adjustable.

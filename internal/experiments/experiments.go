@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -164,7 +165,7 @@ func verifyLab(l *labs.Lab) string {
 	pass := 0
 	var sim time.Duration
 	for ds := 0; ds < l.NumDatasets; ds++ {
-		o := labs.Run(l, l.Reference, ds, devs, 0)
+		o := labs.Run(context.Background(), l, l.Reference, ds, devs, 0)
 		if o.Correct {
 			pass++
 		}

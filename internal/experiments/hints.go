@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -59,7 +60,7 @@ func Hints() string {
 
 	for _, c := range cases {
 		l := labs.ByID(c.labID)
-		o := labs.Run(l, c.src, 0, labs.NewDeviceSet(1), 200000)
+		o := labs.Run(context.Background(), l, c.src, 0, labs.NewDeviceSet(1), 200000)
 		hints := feedback.Analyze(l, c.src, o)
 		fmt.Fprintf(&sb, "%s:\n", c.title)
 		if len(hints) == 0 {

@@ -1,6 +1,7 @@
 package feedback
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -14,7 +15,7 @@ func runAttempt(t *testing.T, labID, src string) *labs.Outcome {
 	if n == 0 {
 		n = 1
 	}
-	return labs.Run(l, src, 0, labs.NewDeviceSet(n), 200000)
+	return labs.Run(context.Background(), l, src, 0, labs.NewDeviceSet(n), 200000)
 }
 
 func hintCodes(hints []Hint) []string {

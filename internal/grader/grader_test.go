@@ -1,6 +1,7 @@
 package grader
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -15,7 +16,7 @@ func runReference(t *testing.T, labID string) (*labs.Lab, []*labs.Outcome) {
 	if l.NumGPUs > 1 {
 		devs = labs.NewDeviceSet(l.NumGPUs)
 	}
-	return l, labs.RunAll(l, l.Reference, devs, 0)
+	return l, labs.RunAll(context.Background(), l, l.Reference, devs, 0)
 }
 
 func TestScoreFullMarks(t *testing.T) {
@@ -41,7 +42,7 @@ func TestScorePartial(t *testing.T) {
   int i = blockIdx.x * blockDim.x + threadIdx.x;
   if (i < len) out[i] = in1[i] - in2[i];
 }`
-	outs := labs.RunAll(l, src, labs.NewDeviceSet(1), 0)
+	outs := labs.RunAll(context.Background(), l, src, labs.NewDeviceSet(1), 0)
 	g := Score(l, src, outs, 1)
 	if g.Datasets != 0 {
 		t.Errorf("dataset points = %d", g.Datasets)
@@ -59,7 +60,7 @@ func TestScorePartial(t *testing.T) {
 
 func TestScoreCompileFailure(t *testing.T) {
 	l := labs.ByID("vector-add")
-	outs := labs.RunAll(l, "__global__ void vecAdd(", labs.NewDeviceSet(1), 0)
+	outs := labs.RunAll(context.Background(), l, "__global__ void vecAdd(", labs.NewDeviceSet(1), 0)
 	g := Score(l, "__global__ void vecAdd(", outs, 0)
 	if g.Compile != 0 || g.Datasets != 0 {
 		t.Errorf("broken source earned compile=%d datasets=%d", g.Compile, g.Datasets)

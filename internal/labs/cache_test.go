@@ -1,6 +1,7 @@
 package labs
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -18,7 +19,7 @@ func TestRunAllCompilesOnce(t *testing.T) {
 	// A source unique to this test so earlier tests cannot have warmed it.
 	src := l.Reference + "\n// compile-once probe (TestRunAllCompilesOnce)\n"
 	before := progcache.Default.Stats()
-	outs := RunAll(l, src, NewDeviceSet(1), 0)
+	outs := RunAll(context.Background(), l, src, NewDeviceSet(1), 0)
 	after := progcache.Default.Stats()
 
 	if got := after.Compiles - before.Compiles; got != 1 {
@@ -40,7 +41,7 @@ func TestRunAllCompilesOnce(t *testing.T) {
 	}
 
 	// A second identical submission is a pure cache hit.
-	RunAll(l, src, NewDeviceSet(1), 0)
+	RunAll(context.Background(), l, src, NewDeviceSet(1), 0)
 	final := progcache.Default.Stats()
 	if got := final.Compiles - after.Compiles; got != 0 {
 		t.Errorf("repeat submission recompiled %d times", got)
@@ -76,8 +77,8 @@ func TestDatasetCachedPerProcess(t *testing.T) {
 		}
 	}
 	gens = l.DatasetGenerations()
-	RunAll(l, l.Reference, NewDeviceSet(1), 0)
-	RunAll(l, l.Reference, NewDeviceSet(1), 0)
+	RunAll(context.Background(), l, l.Reference, NewDeviceSet(1), 0)
+	RunAll(context.Background(), l, l.Reference, NewDeviceSet(1), 0)
 	if l.DatasetGenerations() != gens {
 		t.Errorf("grading runs regenerated datasets: %d -> %d", gens, l.DatasetGenerations())
 	}
@@ -93,7 +94,7 @@ func TestRunValidatesDatasetBeforeCompile(t *testing.T) {
 	l := ByID("vector-add")
 	src := l.Reference + "\n// pre-compile validation probe\n"
 	before := progcache.Default.Stats()
-	o := Run(l, src, 99, NewDeviceSet(1), 0)
+	o := Run(context.Background(), l, src, 99, NewDeviceSet(1), 0)
 	after := progcache.Default.Stats()
 
 	if o.Compiled {
@@ -112,8 +113,8 @@ func TestRunValidatesDatasetBeforeCompile(t *testing.T) {
 // are ordered and correct, identically to the single-slot path.
 func TestRunAllParallelMatchesSerial(t *testing.T) {
 	l := ByID("vector-add")
-	serial := RunAll(l, l.Reference, NewDeviceSet(1), 0)
-	parallel := RunAll(l, l.Reference, NewDeviceSet(4), 0)
+	serial := RunAll(context.Background(), l, l.Reference, NewDeviceSet(1), 0)
+	parallel := RunAll(context.Background(), l, l.Reference, NewDeviceSet(4), 0)
 	if len(serial) != len(parallel) {
 		t.Fatalf("outcome counts differ: %d vs %d", len(serial), len(parallel))
 	}
@@ -131,7 +132,7 @@ func TestRunAllParallelMatchesSerial(t *testing.T) {
 // dataset, preserving the grading shape.
 func TestRunAllCompileErrorShape(t *testing.T) {
 	l := ByID("vector-add")
-	outs := RunAll(l, "__global__ void vecAdd(float *a { nope", NewDeviceSet(1), 0)
+	outs := RunAll(context.Background(), l, "__global__ void vecAdd(float *a { nope", NewDeviceSet(1), 0)
 	if len(outs) != l.NumDatasets {
 		t.Fatalf("outcomes = %d, want %d", len(outs), l.NumDatasets)
 	}

@@ -1,6 +1,7 @@
 package labs
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -91,7 +92,7 @@ func TestReferenceSolutionsPass(t *testing.T) {
 			t.Parallel()
 			devices := NewDeviceSet(maxI(l.NumGPUs, 1))
 			for ds := 0; ds < l.NumDatasets; ds++ {
-				o := Run(l, l.Reference, ds, devices, 0)
+				o := Run(context.Background(), l, l.Reference, ds, devices, 0)
 				if !o.Compiled {
 					t.Fatalf("dataset %d: reference failed to compile: %s", ds, o.CompileError)
 				}
@@ -124,7 +125,7 @@ func TestSkeletonsCompileButFail(t *testing.T) {
 				return // the demo lab's skeleton is intentionally complete
 			}
 			devices := NewDeviceSet(maxI(l.NumGPUs, 1))
-			run := Run(l, l.Skeleton, 0, devices, 0)
+			run := Run(context.Background(), l, l.Skeleton, 0, devices, 0)
 			if run.Correct {
 				t.Errorf("empty skeleton passes dataset 0")
 			}
@@ -134,7 +135,7 @@ func TestSkeletonsCompileButFail(t *testing.T) {
 
 func TestRunReportsCompileError(t *testing.T) {
 	l := ByID("vector-add")
-	o := Run(l, "__global__ void vecAdd(float *a { }", 0, NewDeviceSet(1), 0)
+	o := Run(context.Background(), l, "__global__ void vecAdd(float *a { }", 0, NewDeviceSet(1), 0)
 	if o.Compiled {
 		t.Fatal("broken source compiled")
 	}
@@ -154,7 +155,7 @@ __global__ void vecAdd(float *in1, float *in2, float *out, int len) {
   out[i] = in1[i] + in2[i]; // missing bounds check
 }
 `
-	o := Run(l, src, 0, NewDeviceSet(1), 0)
+	o := Run(context.Background(), l, src, 0, NewDeviceSet(1), 0)
 	if !o.Compiled {
 		t.Fatalf("compile failed: %s", o.CompileError)
 	}
@@ -174,7 +175,7 @@ __global__ void vecAdd(float *in1, float *in2, float *out, int len) {
   if (i < len) out[i] = in1[i] - in2[i]; // subtract instead of add
 }
 `
-	o := Run(l, src, 0, NewDeviceSet(1), 0)
+	o := Run(context.Background(), l, src, 0, NewDeviceSet(1), 0)
 	if !o.Ran {
 		t.Fatalf("run failed: %s", o.RuntimeError)
 	}
@@ -196,7 +197,7 @@ __global__ void vecAdd(float *in1, float *in2, float *out, int len) {
   if (i < len) out[i] = x;
 }
 `
-	o := Run(l, src, 0, NewDeviceSet(1), 50000)
+	o := Run(context.Background(), l, src, 0, NewDeviceSet(1), 50000)
 	if o.RuntimeError == "" || !strings.Contains(o.RuntimeError, "time limit") {
 		t.Errorf("spin loop not limited: %+v", o)
 	}
@@ -204,7 +205,7 @@ __global__ void vecAdd(float *in1, float *in2, float *out, int len) {
 
 func TestRunAllCountsDatasets(t *testing.T) {
 	l := ByID("scatter-to-gather")
-	outs := RunAll(l, l.Reference, NewDeviceSet(1), 0)
+	outs := RunAll(context.Background(), l, l.Reference, NewDeviceSet(1), 0)
 	if len(outs) != l.NumDatasets {
 		t.Fatalf("RunAll returned %d outcomes, want %d", len(outs), l.NumDatasets)
 	}
@@ -230,7 +231,7 @@ func TestKeywordsPresent(t *testing.T) {
 
 func TestTraceVisibleInOutcome(t *testing.T) {
 	l := ByID("vector-add")
-	o := Run(l, l.Reference, 0, NewDeviceSet(1), 0)
+	o := Run(context.Background(), l, l.Reference, 0, NewDeviceSet(1), 0)
 	if !strings.Contains(o.Trace, "input length") {
 		t.Errorf("trace missing wbLog output:\n%s", o.Trace)
 	}
@@ -242,7 +243,7 @@ func TestTraceVisibleInOutcome(t *testing.T) {
 func TestDeviceResetBetweenRuns(t *testing.T) {
 	l := ByID("vector-add")
 	devs := NewDeviceSet(1)
-	_ = Run(l, l.Reference, 0, devs, 0)
+	_ = Run(context.Background(), l, l.Reference, 0, devs, 0)
 	if devs[0].AllocCount() != 0 {
 		t.Errorf("device leaked %d allocations after run", devs[0].AllocCount())
 	}
@@ -269,7 +270,7 @@ func TestMPIStencilRequirements(t *testing.T) {
 		t.Errorf("requirements = %v", l.Requirements)
 	}
 	// Running with one GPU must fail gracefully.
-	o := Run(l, l.Reference, 0, NewDeviceSet(1), 0)
+	o := Run(context.Background(), l, l.Reference, 0, NewDeviceSet(1), 0)
 	if o.RuntimeError == "" || !strings.Contains(o.RuntimeError, "GPUs") {
 		t.Errorf("single-GPU run not rejected: %+v", o)
 	}
@@ -277,7 +278,7 @@ func TestMPIStencilRequirements(t *testing.T) {
 
 func TestDatasetRangeChecked(t *testing.T) {
 	l := ByID("vector-add")
-	o := Run(l, l.Reference, 99, NewDeviceSet(1), 0)
+	o := Run(context.Background(), l, l.Reference, 99, NewDeviceSet(1), 0)
 	if o.RuntimeError == "" {
 		t.Error("out-of-range dataset accepted")
 	}

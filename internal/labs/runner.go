@@ -1,6 +1,7 @@
 package labs
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -23,6 +24,7 @@ type Outcome struct {
 	RuntimeError string
 	Correct      bool
 	CheckMessage string
+	Canceled     bool // the job's context expired before this dataset ran
 	Trace        string
 	SimTime      time.Duration // simulated GPU time across launches
 	WallTime     time.Duration
@@ -62,12 +64,19 @@ func CompileOnly(l *Lab, source string) *Outcome {
 	return o
 }
 
+// canceledOutcome reports a dataset that was never run because the job's
+// context expired first.
+func canceledOutcome(l *Lab, datasetID int, err error) *Outcome {
+	return &Outcome{LabID: l.ID, DatasetID: datasetID, Canceled: true,
+		RuntimeError: "labs: " + err.Error()}
+}
+
 // Run compiles the submission (through the program cache) and executes
 // the lab harness against the identified dataset on the given devices.
 // maxSteps bounds per-thread execution (0 uses the platform default),
 // implementing the per-lab time limits of §III-C. The dataset ID is
 // validated before any compile work is spent.
-func Run(l *Lab, source string, datasetID int, devices []*gpusim.Device, maxSteps int64) *Outcome {
+func Run(ctx context.Context, l *Lab, source string, datasetID int, devices []*gpusim.Device, maxSteps int64) *Outcome {
 	start := time.Now()
 	if datasetID < 0 || datasetID >= l.NumDatasets {
 		return &Outcome{LabID: l.ID, DatasetID: datasetID, WallTime: time.Since(start),
@@ -78,15 +87,19 @@ func Run(l *Lab, source string, datasetID int, devices []*gpusim.Device, maxStep
 		return &Outcome{LabID: l.ID, DatasetID: datasetID, WallTime: time.Since(start),
 			CompileError: err.Error()}
 	}
-	o := RunCompiled(l, prog, datasetID, devices, maxSteps)
+	o := RunCompiled(ctx, l, prog, datasetID, devices, maxSteps)
 	o.WallTime = time.Since(start)
 	return o
 }
 
 // RunCompiled executes an already-compiled submission against one
 // dataset. Programs are immutable after compilation, so the same program
-// may be running on several device sets concurrently.
-func RunCompiled(l *Lab, prog *minicuda.Program, datasetID int, devices []*gpusim.Device, maxSteps int64) *Outcome {
+// may be running on several device sets concurrently. A context that is
+// already done short-circuits before any simulated-GPU time is burned.
+func RunCompiled(ctx context.Context, l *Lab, prog *minicuda.Program, datasetID int, devices []*gpusim.Device, maxSteps int64) *Outcome {
+	if err := ctx.Err(); err != nil {
+		return canceledOutcome(l, datasetID, err)
+	}
 	o := &Outcome{LabID: l.ID, DatasetID: datasetID, Compiled: true}
 	start := time.Now()
 	defer func() { o.WallTime = time.Since(start) }()
@@ -158,7 +171,7 @@ func RunCompiled(l *Lab, prog *minicuda.Program, datasetID int, devices []*gpusi
 // compiled exactly once and the program is reused across all datasets; a
 // compile failure is reported against every dataset, matching the
 // per-dataset grading shape.
-func RunAll(l *Lab, source string, devices []*gpusim.Device, maxSteps int64) []*Outcome {
+func RunAll(ctx context.Context, l *Lab, source string, devices []*gpusim.Device, maxSteps int64) []*Outcome {
 	start := time.Now()
 	prog, err := progcache.Default.Compile(source, l.Dialect)
 	if err != nil {
@@ -169,15 +182,17 @@ func RunAll(l *Lab, source string, devices []*gpusim.Device, maxSteps int64) []*
 		}
 		return outs
 	}
-	return RunAllCompiled(l, prog, devices, maxSteps)
+	return RunAllCompiled(ctx, l, prog, devices, maxSteps)
 }
 
 // RunAllCompiled runs a compiled submission against every dataset. When
 // the device set holds more GPUs than one run needs, the datasets fan out
 // in parallel across disjoint device slots — a container holding 2k GPUs
 // grades a k-GPU lab's datasets two at a time. Output order is
-// deterministic: outs[i] is always dataset i.
-func RunAllCompiled(l *Lab, prog *minicuda.Program, devices []*gpusim.Device, maxSteps int64) []*Outcome {
+// deterministic: outs[i] is always dataset i. Once ctx is done, no
+// further dataset is launched; the remaining outcomes are marked
+// Canceled so the grading shape stays per-dataset.
+func RunAllCompiled(ctx context.Context, l *Lab, prog *minicuda.Program, devices []*gpusim.Device, maxSteps int64) []*Outcome {
 	outs := make([]*Outcome, l.NumDatasets)
 	need := l.NumGPUs
 	if need == 0 {
@@ -194,7 +209,11 @@ func RunAllCompiled(l *Lab, prog *minicuda.Program, devices []*gpusim.Device, ma
 		// Not enough devices to parallelize (or nothing to run them on —
 		// RunCompiled reports the per-dataset device errors).
 		for i := 0; i < l.NumDatasets; i++ {
-			outs[i] = RunCompiled(l, prog, i, devices, maxSteps)
+			if err := ctx.Err(); err != nil {
+				outs[i] = canceledOutcome(l, i, err)
+				continue
+			}
+			outs[i] = RunCompiled(ctx, l, prog, i, devices, maxSteps)
 		}
 		return outs
 	}
@@ -206,12 +225,16 @@ func RunAllCompiled(l *Lab, prog *minicuda.Program, devices []*gpusim.Device, ma
 		go func(devs []*gpusim.Device) {
 			defer wg.Done()
 			for i := range ids {
-				outs[i] = RunCompiled(l, prog, i, devs, maxSteps)
+				outs[i] = RunCompiled(ctx, l, prog, i, devs, maxSteps)
 			}
 		}(slot)
 	}
 	for i := 0; i < l.NumDatasets; i++ {
-		ids <- i
+		select {
+		case ids <- i:
+		case <-ctx.Done():
+			outs[i] = canceledOutcome(l, i, ctx.Err())
+		}
 	}
 	close(ids)
 	wg.Wait()

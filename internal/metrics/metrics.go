@@ -17,10 +17,11 @@ import (
 // Registry holds named metrics. The zero value is not usable; call
 // NewRegistry.
 type Registry struct {
-	mu     sync.Mutex
-	counts map[string]float64
-	gauges map[string]float64
-	hists  map[string]*Histogram
+	mu         sync.Mutex
+	counts     map[string]float64
+	gauges     map[string]float64
+	hists      map[string]*Histogram
+	collectors []func(*Registry)
 }
 
 // NewRegistry creates an empty registry.
@@ -104,6 +105,89 @@ func (r *Registry) Snapshot() string {
 	return strings.Join(lines, "\n")
 }
 
+// AddCollector registers a function invoked before each export so
+// subsystems with their own stats structs (program cache, broker, fleet)
+// can refresh gauges lazily instead of pushing on every event.
+func (r *Registry) AddCollector(fn func(*Registry)) {
+	if fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.collectors = append(r.collectors, fn)
+	r.mu.Unlock()
+}
+
+// Collect runs all registered collectors (outside the registry lock, so
+// collectors may call Set/Inc/Observe freely).
+func (r *Registry) Collect() {
+	r.mu.Lock()
+	fns := make([]func(*Registry), len(r.collectors))
+	copy(fns, r.collectors)
+	r.mu.Unlock()
+	for _, fn := range fns {
+		fn(r)
+	}
+}
+
+// promName rewrites a metric name into the Prometheus charset with the
+// webgpu_ namespace prefix.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("webgpu_")
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// PrometheusText runs the collectors and renders every metric in the
+// Prometheus text exposition format: counters and gauges as single
+// samples, histograms as summaries (quantile series plus _sum/_count).
+func (r *Registry) PrometheusText() string {
+	r.Collect()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var b strings.Builder
+	names := make([]string, 0, len(r.counts))
+	for k := range r.counts {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		n := promName(k)
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %g\n", n, n, r.counts[k])
+	}
+	names = names[:0]
+	for k := range r.gauges {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		n := promName(k)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %g\n", n, n, r.gauges[k])
+	}
+	names = names[:0]
+	for k := range r.hists {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		h := r.hists[k]
+		n := promName(k)
+		fmt.Fprintf(&b, "# TYPE %s summary\n", n)
+		for _, q := range []float64{0.5, 0.95, 0.99} {
+			fmt.Fprintf(&b, "%s{quantile=%q} %g\n", n, fmt.Sprintf("%g", q), h.Quantile(q))
+		}
+		fmt.Fprintf(&b, "%s_sum %g\n%s_count %d\n", n, h.Sum(), n, h.Count())
+	}
+	return b.String()
+}
+
 // Histogram is a simple sample-retaining histogram with reservoir capping.
 type Histogram struct {
 	mu      sync.Mutex
@@ -150,6 +234,13 @@ func (h *Histogram) Mean() float64 {
 		return 0
 	}
 	return h.sum / float64(h.count)
+}
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
 }
 
 // Max returns the largest observation.

@@ -112,3 +112,51 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Errorf("hist count = %v", got)
 	}
 }
+
+func TestPrometheusText(t *testing.T) {
+	r := NewRegistry()
+	r.Inc("jobs_total", 3)
+	r.Set("workers", 2)
+	r.Observe("latency_ms", 10)
+	r.Observe("latency_ms", 20)
+	out := r.PrometheusText()
+	for _, want := range []string{
+		"# TYPE webgpu_jobs_total counter",
+		"webgpu_jobs_total 3",
+		"# TYPE webgpu_workers gauge",
+		"webgpu_workers 2",
+		`webgpu_latency_ms{quantile="0.5"}`,
+		"webgpu_latency_ms_sum 30",
+		"webgpu_latency_ms_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCollectorsRefreshOnExport(t *testing.T) {
+	r := NewRegistry()
+	n := 0
+	r.AddCollector(func(reg *Registry) {
+		n++
+		reg.Set("lazy_gauge", float64(n))
+	})
+	_ = r.PrometheusText()
+	out := r.PrometheusText()
+	if n != 2 {
+		t.Fatalf("collector ran %d times, want once per export", n)
+	}
+	if !strings.Contains(out, "webgpu_lazy_gauge 2") {
+		t.Errorf("lazy gauge not refreshed:\n%s", out)
+	}
+}
+
+func TestPromNameSanitized(t *testing.T) {
+	r := NewRegistry()
+	r.Inc("weird-name.with chars", 1)
+	out := r.PrometheusText()
+	if !strings.Contains(out, "webgpu_weird_name_with_chars 1") {
+		t.Errorf("name not sanitized:\n%s", out)
+	}
+}

@@ -1,6 +1,7 @@
 package openedx
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -148,7 +149,7 @@ func TestLMSRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	l := labs.ByID(launch.LabID)
-	outs := labs.RunAll(l, l.Reference, labs.NewDeviceSet(1), 0)
+	outs := labs.RunAll(context.Background(), l, l.Reference, labs.NewDeviceSet(1), 0)
 	g := grader.Score(l, l.Reference, outs, len(l.Questions))
 	g.UserID = launch.UserID
 	if err := gb.Record(g); err != nil {

@@ -13,6 +13,7 @@
 package platform
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
@@ -22,10 +23,12 @@ import (
 	"webgpu/internal/db"
 	"webgpu/internal/grader"
 	"webgpu/internal/labs"
+	"webgpu/internal/metrics"
 	"webgpu/internal/peerreview"
 	"webgpu/internal/progcache"
 	"webgpu/internal/queue"
 	"webgpu/internal/sandbox"
+	"webgpu/internal/trace"
 	"webgpu/internal/webserver"
 	"webgpu/internal/worker"
 )
@@ -77,7 +80,9 @@ type Platform struct {
 	router        *resultRouter
 
 	opts          Options
-	progs         *progcache.Cache // shared by every worker node of this deployment
+	progs         *progcache.Cache  // shared by every worker node of this deployment
+	metrics       *metrics.Registry // one registry across web tier + every node
+	traces        *trace.Store      // recent job traces, behind /api/admin/traces
 	mu            sync.Mutex
 	v1Count       int
 	closed        bool
@@ -109,7 +114,17 @@ func New(opts Options) *Platform {
 		Reviews:   peerreview.NewStore(opts.ReviewWeight),
 		opts:      opts,
 		progs:     progcache.New(progcache.DefaultCapacity, nil),
+		metrics:   metrics.NewRegistry(),
+		traces:    trace.NewStore(0),
 	}
+	// Lazy gauges: subsystems with their own stats structs refresh on
+	// each metrics export instead of pushing on every event.
+	p.metrics.AddCollector(func(r *metrics.Registry) {
+		s := p.progs.Stats()
+		r.Set("progcache_entries", float64(s.Size))
+		r.Set("progcache_evictions", float64(s.Evictions))
+		r.Set("workers", float64(p.Workers()))
+	})
 
 	var dispatcher webserver.Dispatcher
 	switch opts.Arch {
@@ -136,8 +151,17 @@ func New(opts Options) *Platform {
 		p.Fleet.Scale(opts.Workers)
 		p.Replica = db.NewReplica(p.DB)
 		p.router = newResultRouter(p.Broker)
-		dispatcher = webserver.DispatcherFunc(func(job *worker.Job) (*worker.Result, error) {
-			return p.dispatchV2(job)
+		// Broker gauges refresh per scrape, like the progcache ones above.
+		p.metrics.AddCollector(func(r *metrics.Registry) {
+			bs := p.Broker.Stats()
+			r.Set("broker_published", float64(bs.Published))
+			r.Set("broker_acked", float64(bs.Acked))
+			r.Set("broker_inflight", float64(bs.Inflight))
+			r.Set("broker_dead_letters", float64(bs.DeadLetters))
+			r.Set("broker_backlog_jobs", float64(p.Broker.Backlog(worker.TopicJobs)))
+		})
+		dispatcher = webserver.DispatcherFunc(func(ctx context.Context, job *worker.Job) (*worker.Result, error) {
+			return p.dispatchV2(ctx, job)
 		})
 	}
 
@@ -147,6 +171,8 @@ func New(opts Options) *Platform {
 		Gradebook:  p.Gradebook,
 		Reviews:    p.Reviews,
 		Course:     opts.Course,
+		Metrics:    p.metrics,
+		Traces:     p.traces,
 	})
 	return p
 }
@@ -156,8 +182,15 @@ func (p *Platform) newNode(i int) *worker.Node {
 	cfg.GPUs = p.opts.GPUsPerWorker
 	cfg.ScanMode = p.opts.ScanMode
 	cfg.ProgCache = p.progs
+	cfg.Metrics = p.metrics
 	return worker.NewNode(cfg)
 }
+
+// Metrics exposes the deployment-wide shared registry.
+func (p *Platform) Metrics() *metrics.Registry { return p.metrics }
+
+// Traces exposes the deployment-wide trace ring.
+func (p *Platform) Traces() *trace.Store { return p.traces }
 
 // ProgCache exposes the deployment-wide compiled-program cache.
 func (p *Platform) ProgCache() *progcache.Cache { return p.progs }
@@ -228,16 +261,32 @@ func (p *Platform) Close() {
 }
 
 // dispatchV2 publishes the job to the broker with the lab's requirement
-// tags and waits for the matching result.
-func (p *Platform) dispatchV2(job *worker.Job) (*worker.Result, error) {
+// tags (plus the trace ID as a non-constraining meta tag) and waits for
+// the matching result. A cancelled context abandons the wait — the
+// worker-side pipeline observes its own cancellation via the job lease,
+// so the web tier does not block on a job its student abandoned.
+func (p *Platform) dispatchV2(ctx context.Context, job *worker.Job) (*worker.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	tags := job.Requirements
+	if job.TraceID == "" {
+		job.TraceID = trace.FromContext(ctx).ID()
+	}
+	if job.TraceID != "" {
+		tags = append(append([]string(nil), tags...), queue.MetaTrace(job.TraceID))
+	}
 	waiter := p.router.register(job.ID)
-	if _, err := p.Broker.Publish(worker.TopicJobs, worker.EncodeJob(job), job.Requirements...); err != nil {
+	if _, err := p.Broker.Publish(worker.TopicJobs, worker.EncodeJob(job), tags...); err != nil {
 		p.router.unregister(job.ID)
 		return nil, err
 	}
 	select {
 	case res := <-waiter:
 		return res, nil
+	case <-ctx.Done():
+		p.router.unregister(job.ID)
+		return nil, ctx.Err()
 	case <-time.After(p.opts.DispatchWait):
 		p.router.unregister(job.ID)
 		return nil, errors.New("platform: timed out waiting for a worker result")

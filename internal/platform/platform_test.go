@@ -114,10 +114,14 @@ func studentFlow(t *testing.T, p *Platform) {
 	good := labs.ByID("vector-add").Reference
 	alice.mustDo("POST", "/api/labs/vector-add/save", map[string]string{"source": good}, nil)
 
-	var history []webserver.CodeRec
-	alice.mustDo("GET", "/api/labs/vector-add/history", nil, &history)
-	if len(history) != 2 || history[0].Rev != 1 || history[1].Rev != 2 {
-		t.Fatalf("history = %+v", history)
+	var historyPage struct {
+		Total int                 `json:"total"`
+		Items []webserver.CodeRec `json:"items"`
+	}
+	alice.mustDo("GET", "/api/labs/vector-add/history", nil, &historyPage)
+	history := historyPage.Items
+	if historyPage.Total != 2 || len(history) != 2 || history[0].Rev != 1 || history[1].Rev != 2 {
+		t.Fatalf("history = %+v", historyPage)
 	}
 
 	// Compile (action 2).
@@ -158,10 +162,13 @@ func studentFlow(t *testing.T, p *Platform) {
 	}
 
 	// Attempts view (action 6).
-	var attempts []webserver.AttemptRec
-	alice.mustDo("GET", "/api/labs/vector-add/attempts", nil, &attempts)
-	if len(attempts) != 1 {
-		t.Fatalf("attempts = %d", len(attempts))
+	var attemptsPage struct {
+		Total int                    `json:"total"`
+		Items []webserver.AttemptRec `json:"items"`
+	}
+	alice.mustDo("GET", "/api/labs/vector-add/attempts", nil, &attemptsPage)
+	if attemptsPage.Total != 1 || len(attemptsPage.Items) != 1 {
+		t.Fatalf("attempts = %+v", attemptsPage)
 	}
 
 	// Instructor joins, inspects the roster, comments, and overrides.

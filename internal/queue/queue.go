@@ -10,6 +10,7 @@ package queue
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 )
@@ -177,8 +178,30 @@ func (b *Broker) Poll(topic, consumer string, caps map[string]bool, visibility t
 	return nil, false, nil
 }
 
+// MetaPrefix marks informational tags (e.g. a job's trace ID) that ride
+// on a message without constraining which consumer may lease it. Tags
+// with this prefix are skipped during capability matching — otherwise a
+// unique-per-job trace tag would make every job undeliverable.
+const MetaPrefix = "trace:"
+
+// MetaTrace builds the informational tag carrying a trace ID.
+func MetaTrace(id string) string { return MetaPrefix + id }
+
+// TraceTag extracts the trace ID from a message's tags, or "".
+func TraceTag(tags []string) string {
+	for _, t := range tags {
+		if strings.HasPrefix(t, MetaPrefix) {
+			return strings.TrimPrefix(t, MetaPrefix)
+		}
+	}
+	return ""
+}
+
 func tagsSatisfied(tags []string, caps map[string]bool) bool {
 	for _, t := range tags {
+		if strings.HasPrefix(t, MetaPrefix) {
+			continue
+		}
 		if !caps[t] {
 			return false
 		}

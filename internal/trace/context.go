@@ -1,0 +1,24 @@
+package trace
+
+import "context"
+
+type ctxKey struct{}
+
+// NewContext returns a context carrying the trace — how a trace rides
+// the v1 in-process dispatch path from handler to worker node.
+func NewContext(ctx context.Context, tr *Trace) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, tr)
+}
+
+// FromContext returns the trace carried by ctx, or nil. All Trace
+// methods are nil-safe, so callers can instrument unconditionally.
+func FromContext(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	tr, _ := ctx.Value(ctxKey{}).(*Trace)
+	return tr
+}

@@ -1,6 +1,8 @@
 package webserver
 
 import (
+	"context"
+	"encoding/json"
 	"errors"
 	"net/http"
 	"strings"
@@ -17,7 +19,7 @@ import (
 
 // failingDispatcher simulates the worker tier being down.
 func failingDispatcher() Dispatcher {
-	return DispatcherFunc(func(job *worker.Job) (*worker.Result, error) {
+	return DispatcherFunc(func(ctx context.Context, job *worker.Job) (*worker.Result, error) {
 		return nil, errors.New("no workers available")
 	})
 }
@@ -142,14 +144,55 @@ func TestGradeBeforeSubmit404(t *testing.T) {
 	}
 }
 
-func TestBadDatasetQueryDefaultsToZero(t *testing.T) {
+func TestBadDatasetQueryRejected(t *testing.T) {
 	f := newFixture(t)
 	tok := f.register("a@x", "student")
 	src := labs.ByID("vector-add").Reference
 	f.req("POST", "/api/labs/vector-add/save", tok, map[string]string{"source": src})
-	code, body := f.req("POST", "/api/labs/vector-add/attempt?dataset=banana", tok, nil)
-	if code != http.StatusOK || !contains(body, `"DatasetID":0`) {
-		t.Errorf("attempt with bad dataset = %d %s", code, body)
+	for _, bad := range []string{"banana", "-1", "1.5"} {
+		code, body := f.req("POST", "/api/labs/vector-add/attempt?dataset="+bad, tok, nil)
+		if code != http.StatusBadRequest {
+			t.Errorf("attempt with dataset=%q = %d, want 400 (%s)", bad, code, body)
+			continue
+		}
+		var env ErrorBody
+		if err := json.Unmarshal(body, &env); err != nil {
+			t.Fatalf("dataset=%q: body is not the error envelope: %v (%s)", bad, err, body)
+		}
+		if env.Error.Code != ErrCodeBadDataset || env.Error.Message == "" {
+			t.Errorf("dataset=%q envelope = %+v, want code %q", bad, env, ErrCodeBadDataset)
+		}
+	}
+}
+
+// TestErrorEnvelopeShape pins the machine-readable error contract: every
+// error response carries {"error":{"code","message"}} with a stable code.
+func TestErrorEnvelopeShape(t *testing.T) {
+	f := newFixture(t)
+	tok := f.register("a@x", "student")
+	cases := []struct {
+		method, path, token string
+		wantStatus          int
+		wantCode            string
+	}{
+		{"GET", "/api/labs", "", http.StatusUnauthorized, ErrCodeUnauthorized},
+		{"GET", "/api/labs/not-a-lab", tok, http.StatusNotFound, ErrCodeNotFound},
+		{"GET", "/api/instructor/roster/vector-add", tok, http.StatusForbidden, ErrCodeForbidden},
+	}
+	for _, c := range cases {
+		code, body := f.req(c.method, c.path, c.token, nil)
+		if code != c.wantStatus {
+			t.Errorf("%s %s = %d, want %d", c.method, c.path, code, c.wantStatus)
+			continue
+		}
+		var env ErrorBody
+		if err := json.Unmarshal(body, &env); err != nil {
+			t.Errorf("%s %s: not an envelope: %v (%s)", c.method, c.path, err, body)
+			continue
+		}
+		if env.Error.Code != c.wantCode {
+			t.Errorf("%s %s code = %q, want %q", c.method, c.path, env.Error.Code, c.wantCode)
+		}
 	}
 }
 

@@ -1,0 +1,50 @@
+package webserver
+
+import (
+	"net/http"
+	"strconv"
+)
+
+// Admin observability endpoints (instructor-gated): the Prometheus-style
+// metrics dump and the recent-trace ring that together answer "where did
+// submission X spend its 4 seconds?" — the operational blind spot that
+// motivated the v2 architecture (§IV).
+
+// handleAdminMetrics dumps the shared metrics registry in the Prometheus
+// text exposition format. Registered collectors (program cache, broker,
+// fleet) refresh their gauges on each scrape.
+func (s *Server) handleAdminMetrics(w http.ResponseWriter, r *http.Request, u *User) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(s.metrics.PrometheusText()))
+}
+
+// handleAdminTraces lists recent job traces, newest first. ?limit=N
+// bounds the listing (default 20).
+func (s *Server) handleAdminTraces(w http.ResponseWriter, r *http.Request, u *User) {
+	limit := 20
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, ErrCodeBadRequest, "invalid limit %q", v)
+			return
+		}
+		limit = n
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"total":  s.traces.Len(),
+		"traces": s.traces.Recent(limit),
+	})
+}
+
+// handleAdminTrace returns one trace by ID with all its spans.
+func (s *Server) handleAdminTrace(w http.ResponseWriter, r *http.Request, u *User) {
+	id := r.PathValue("id")
+	tr := s.traces.Get(id)
+	if tr == nil {
+		writeErr(w, http.StatusNotFound, ErrCodeNotFound, "no trace %q (the ring keeps the most recent %d)",
+			id, s.traces.Len())
+		return
+	}
+	writeJSON(w, http.StatusOK, tr.Snapshot())
+}

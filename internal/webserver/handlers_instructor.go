@@ -84,7 +84,7 @@ func (s *Server) handleRoster(w http.ResponseWriter, r *http.Request, u *User) {
 		return nil
 	})
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "%v", err)
+		writeErr(w, http.StatusInternalServerError, ErrCodeInternal, "%v", err)
 		return
 	}
 	out := make([]*RosterRow, 0, len(rows))
@@ -145,11 +145,11 @@ func (s *Server) handleStudentDetail(w http.ResponseWriter, r *http.Request, u *
 		return nil
 	})
 	if errors.Is(err, db.ErrNotFound) {
-		writeErr(w, http.StatusNotFound, "no such student %q", userID)
+		writeErr(w, http.StatusNotFound, ErrCodeNotFound, "no such student %q", userID)
 		return
 	}
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "%v", err)
+		writeErr(w, http.StatusInternalServerError, ErrCodeInternal, "%v", err)
 		return
 	}
 	sort.Slice(history, func(i, j int) bool { return history[i].Rev < history[j].Rev })
@@ -175,7 +175,7 @@ func (s *Server) handleOverride(w http.ResponseWriter, r *http.Request, u *User)
 		Comment string `json:"comment"`
 	}
 	if err := readJSON(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, http.StatusBadRequest, ErrCodeBadRequest, "%v", err)
 		return
 	}
 	var g grader.Grade
@@ -187,11 +187,11 @@ func (s *Server) handleOverride(w http.ResponseWriter, r *http.Request, u *User)
 		return tx.Put("grades", codeKey(req.UserID, req.LabID), g)
 	})
 	if errors.Is(err, db.ErrNotFound) {
-		writeErr(w, http.StatusNotFound, "no grade for %s on %s", req.UserID, req.LabID)
+		writeErr(w, http.StatusNotFound, ErrCodeNotFound, "no grade for %s on %s", req.UserID, req.LabID)
 		return
 	}
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "%v", err)
+		writeErr(w, http.StatusInternalServerError, ErrCodeInternal, "%v", err)
 		return
 	}
 	if s.gradebook != nil {
@@ -207,7 +207,7 @@ func (s *Server) handleComment(w http.ResponseWriter, r *http.Request, u *User) 
 		Text   string `json:"text"`
 	}
 	if err := readJSON(r, &req); err != nil || req.Text == "" {
-		writeErr(w, http.StatusBadRequest, "user_id, lab_id, text required")
+		writeErr(w, http.StatusBadRequest, ErrCodeBadRequest, "user_id, lab_id, text required")
 		return
 	}
 	c := CommentRec{
@@ -221,7 +221,7 @@ func (s *Server) handleComment(w http.ResponseWriter, r *http.Request, u *User) 
 	if err := s.db.Update(func(tx *db.Tx) error {
 		return tx.Put("comments", c.ID, c)
 	}); err != nil {
-		writeErr(w, http.StatusInternalServerError, "%v", err)
+		writeErr(w, http.StatusInternalServerError, ErrCodeInternal, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, c)
@@ -237,7 +237,7 @@ func (s *Server) handleAssignReviews(w http.ResponseWriter, r *http.Request, u *
 		Seed       int64 `json:"seed"`
 	}
 	if err := readJSON(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, http.StatusBadRequest, ErrCodeBadRequest, "%v", err)
 		return
 	}
 	if req.PerStudent <= 0 {
@@ -259,7 +259,7 @@ func (s *Server) handleAssignReviews(w http.ResponseWriter, r *http.Request, u *
 	sort.Strings(students)
 	as, err := peerreview.AssignRandom(l.ID, students, req.PerStudent, rand.New(rand.NewSource(req.Seed)))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, http.StatusBadRequest, ErrCodeBadRequest, "%v", err)
 		return
 	}
 	s.reviews.Load(as)
@@ -272,7 +272,7 @@ func (s *Server) handleAssignReviews(w http.ResponseWriter, r *http.Request, u *
 func (s *Server) handleExport(w http.ResponseWriter, r *http.Request, u *User) {
 	book, ok := s.gradebook.(*grader.CourseraBook)
 	if !ok {
-		writeErr(w, http.StatusNotImplemented, "gradebook does not support export")
+		writeErr(w, http.StatusNotImplemented, ErrCodeNotImplemented, "gradebook does not support export")
 		return
 	}
 	w.Header().Set("Content-Type", "text/csv")

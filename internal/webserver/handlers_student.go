@@ -1,12 +1,14 @@
 package webserver
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"html"
 	"net/http"
 	"sort"
+	"strconv"
 	"time"
 
 	"webgpu/internal/db"
@@ -15,6 +17,7 @@ import (
 	"webgpu/internal/labs"
 	"webgpu/internal/markdown"
 	"webgpu/internal/sandbox"
+	"webgpu/internal/trace"
 	"webgpu/internal/worker"
 )
 
@@ -27,14 +30,14 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		Role  string `json:"role"`
 	}
 	if err := readJSON(r, &req); err != nil || req.Email == "" {
-		writeErr(w, http.StatusBadRequest, "name and email required")
+		writeErr(w, http.StatusBadRequest, ErrCodeBadRequest, "name and email required")
 		return
 	}
 	if req.Role == "" {
 		req.Role = "student"
 	}
 	if req.Role != "student" && req.Role != "instructor" {
-		writeErr(w, http.StatusBadRequest, "invalid role %q", req.Role)
+		writeErr(w, http.StatusBadRequest, ErrCodeBadRequest, "invalid role %q", req.Role)
 		return
 	}
 	var token string
@@ -57,7 +60,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		return tx.Put("sessions", token, sessionRec{Token: token, UserID: user.ID})
 	})
 	if err != nil {
-		writeErr(w, http.StatusConflict, "%v", err)
+		writeErr(w, http.StatusConflict, ErrCodeConflict, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]interface{}{"user": user, "token": token})
@@ -68,7 +71,7 @@ func (s *Server) handleLogin(w http.ResponseWriter, r *http.Request) {
 		Email string `json:"email"`
 	}
 	if err := readJSON(r, &req); err != nil || req.Email == "" {
-		writeErr(w, http.StatusBadRequest, "email required")
+		writeErr(w, http.StatusBadRequest, ErrCodeBadRequest, "email required")
 		return
 	}
 	var token string
@@ -85,11 +88,11 @@ func (s *Server) handleLogin(w http.ResponseWriter, r *http.Request) {
 		return tx.Put("sessions", token, sessionRec{Token: token, UserID: user.ID})
 	})
 	if errors.Is(err, db.ErrNotFound) {
-		writeErr(w, http.StatusNotFound, "no account for %s", req.Email)
+		writeErr(w, http.StatusNotFound, ErrCodeNotFound, "no account for %s", req.Email)
 		return
 	}
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "%v", err)
+		writeErr(w, http.StatusInternalServerError, ErrCodeInternal, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{"user": user, "token": token})
@@ -183,7 +186,7 @@ func (s *Server) handleSave(w http.ResponseWriter, r *http.Request, u *User) {
 		Source string `json:"source"`
 	}
 	if err := readJSON(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad request: %v", err)
+		writeErr(w, http.StatusBadRequest, ErrCodeBadRequest, "bad request: %v", err)
 		return
 	}
 	var rec CodeRec
@@ -204,7 +207,7 @@ func (s *Server) handleSave(w http.ResponseWriter, r *http.Request, u *User) {
 		return tx.Put("history", histKey(u.ID, l.ID, rec.Rev), rec)
 	})
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "%v", err)
+		writeErr(w, http.StatusInternalServerError, ErrCodeInternal, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{"rev": rec.Rev, "saved_at": rec.SavedAt})
@@ -223,6 +226,10 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request, u *User) 
 	if l == nil {
 		return
 	}
+	p, ok := parsePage(w, r)
+	if !ok {
+		return
+	}
 	var out []CodeRec
 	_ = s.db.View(func(tx *db.Tx) error {
 		prefix := u.ID + "|" + l.ID + "|"
@@ -237,7 +244,7 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request, u *User) 
 		return nil
 	})
 	sort.Slice(out, func(i, j int) bool { return out[i].Rev < out[j].Rev })
-	writeJSON(w, http.StatusOK, out)
+	writeJSON(w, http.StatusOK, paginated(out, p))
 }
 
 // ---- Compile / attempt / submit ---------------------------------------------------
@@ -274,7 +281,18 @@ func (s *Server) currentSource(r *http.Request, u *User, l *labs.Lab) (string, e
 	return req.Source, err
 }
 
-func (s *Server) runJob(u *User, l *labs.Lab, source string, datasetID int) (*worker.Result, error) {
+// startTrace opens the request's end-to-end trace, registers it in the
+// admin ring, and stamps the response with the X-WebGPU-Trace header.
+// The returned context carries both the trace and the request's
+// cancellation (a disconnecting student cancels the job downstream).
+func (s *Server) startTrace(w http.ResponseWriter, r *http.Request) (context.Context, *trace.Trace) {
+	tr := s.traces.NewTrace()
+	w.Header().Set("X-WebGPU-Trace", tr.ID())
+	return trace.NewContext(r.Context(), tr), tr
+}
+
+func (s *Server) runJob(ctx context.Context, u *User, l *labs.Lab, source string, datasetID int) (*worker.Result, error) {
+	tr := trace.FromContext(ctx)
 	job := &worker.Job{
 		ID:           s.newID("job"),
 		LabID:        l.ID,
@@ -282,8 +300,25 @@ func (s *Server) runJob(u *User, l *labs.Lab, source string, datasetID int) (*wo
 		Source:       source,
 		DatasetID:    datasetID,
 		Requirements: l.Requirements,
+		TraceID:      tr.ID(),
 	}
-	return s.dispatch.Dispatch(job)
+	sp := tr.StartSpan("dispatch", "job", job.ID, "lab", l.ID)
+	res, err := s.dispatch.Dispatch(ctx, job)
+	sp.End()
+	s.metrics.Inc("web_jobs_dispatched", 1)
+	if err != nil {
+		s.metrics.Inc("web_dispatch_errors", 1)
+	}
+	if res != nil {
+		// On the v2 path the worker's spans arrive on the result; fold
+		// them into the canonical trace and strip them from the HTTP body.
+		tr.AddAll(res.Spans)
+		res.Spans = nil
+		if res.TraceID == "" {
+			res.TraceID = tr.ID()
+		}
+	}
+	return res, err
 }
 
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request, u *User) {
@@ -291,14 +326,16 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request, u *User) 
 	if l == nil {
 		return
 	}
+	ctx, tr := s.startTrace(w, r)
+	defer tr.Finish()
 	source, err := s.currentSource(r, u, l)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "%v", err)
+		writeErr(w, http.StatusInternalServerError, ErrCodeInternal, "%v", err)
 		return
 	}
-	res, err := s.runJob(u, l, source, worker.DatasetCompileOnly)
+	res, err := s.runJob(ctx, u, l, source, worker.DatasetCompileOnly)
 	if err != nil {
-		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		writeErr(w, http.StatusServiceUnavailable, ErrCodeWorkerUnavailable, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
@@ -309,15 +346,26 @@ func (s *Server) handleAttempt(w http.ResponseWriter, r *http.Request, u *User) 
 	if l == nil {
 		return
 	}
-	datasetID := atoiDefault(r.URL.Query().Get("dataset"), 0)
+	datasetID := 0
+	if raw := r.URL.Query().Get("dataset"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, ErrCodeBadDataset,
+				"invalid dataset %q: want a non-negative integer", raw)
+			return
+		}
+		datasetID = n
+	}
+	ctx, tr := s.startTrace(w, r)
+	defer tr.Finish()
 	source, err := s.currentSource(r, u, l)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "%v", err)
+		writeErr(w, http.StatusInternalServerError, ErrCodeInternal, "%v", err)
 		return
 	}
-	res, err := s.runJob(u, l, source, datasetID)
+	res, err := s.runJob(ctx, u, l, source, datasetID)
 	if err != nil {
-		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		writeErr(w, http.StatusServiceUnavailable, ErrCodeWorkerUnavailable, "%v", err)
 		return
 	}
 	att := AttemptRec{
@@ -327,6 +375,7 @@ func (s *Server) handleAttempt(w http.ResponseWriter, r *http.Request, u *User) 
 		DatasetID: datasetID,
 		Source:    source,
 		At:        s.clock(),
+		TraceID:   res.TraceID,
 	}
 	if len(res.Outcomes) > 0 {
 		att.Outcome = res.Outcomes[0]
@@ -336,7 +385,7 @@ func (s *Server) handleAttempt(w http.ResponseWriter, r *http.Request, u *User) 
 	if err := s.db.Update(func(tx *db.Tx) error {
 		return tx.Put("attempts", att.ID, att)
 	}); err != nil {
-		writeErr(w, http.StatusInternalServerError, "%v", err)
+		writeErr(w, http.StatusInternalServerError, ErrCodeInternal, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, att)
@@ -347,8 +396,12 @@ func (s *Server) handleAttempts(w http.ResponseWriter, r *http.Request, u *User)
 	if l == nil {
 		return
 	}
+	p, ok := parsePage(w, r)
+	if !ok {
+		return
+	}
 	out := s.attemptsFor(u.ID, l.ID)
-	writeJSON(w, http.StatusOK, out)
+	writeJSON(w, http.StatusOK, paginated(out, p))
 }
 
 func (s *Server) attemptsFor(userID, labID string) []AttemptRec {
@@ -376,11 +429,11 @@ func (s *Server) handleAnswerQuestions(w http.ResponseWriter, r *http.Request, u
 		Answers []string `json:"answers"`
 	}
 	if err := readJSON(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, http.StatusBadRequest, ErrCodeBadRequest, "%v", err)
 		return
 	}
 	if len(req.Answers) > len(l.Questions) {
-		writeErr(w, http.StatusBadRequest, "lab has %d questions, got %d answers",
+		writeErr(w, http.StatusBadRequest, ErrCodeBadRequest, "lab has %d questions, got %d answers",
 			len(l.Questions), len(req.Answers))
 		return
 	}
@@ -388,7 +441,7 @@ func (s *Server) handleAnswerQuestions(w http.ResponseWriter, r *http.Request, u
 	if err := s.db.Update(func(tx *db.Tx) error {
 		return tx.Put("answers", codeKey(u.ID, l.ID), rec)
 	}); err != nil {
-		writeErr(w, http.StatusInternalServerError, "%v", err)
+		writeErr(w, http.StatusInternalServerError, ErrCodeInternal, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, rec)
@@ -402,20 +455,22 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, u *User) {
 	// Submission rate limiting (§III-C).
 	if err := s.limiter.Admit(u.ID); err != nil {
 		if errors.Is(err, sandbox.ErrRateLimited) {
-			writeErr(w, http.StatusTooManyRequests, "%v", err)
+			writeErr(w, http.StatusTooManyRequests, ErrCodeRateLimited, "%v", err)
 			return
 		}
-		writeErr(w, http.StatusInternalServerError, "%v", err)
+		writeErr(w, http.StatusInternalServerError, ErrCodeInternal, "%v", err)
 		return
 	}
+	ctx, tr := s.startTrace(w, r)
+	defer tr.Finish()
 	source, err := s.currentSource(r, u, l)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "%v", err)
+		writeErr(w, http.StatusInternalServerError, ErrCodeInternal, "%v", err)
 		return
 	}
-	res, err := s.runJob(u, l, source, worker.DatasetAll)
+	res, err := s.runJob(ctx, u, l, source, worker.DatasetAll)
 	if err != nil {
-		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		writeErr(w, http.StatusServiceUnavailable, ErrCodeWorkerUnavailable, "%v", err)
 		return
 	}
 
@@ -433,7 +488,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, u *User) {
 		return nil
 	})
 
+	gradeSpan := tr.StartSpan("grade")
 	g := grader.Score(l, source, res.Outcomes, answered)
+	gradeSpan.EndAttrs("total", strconv.Itoa(g.Total), "max", strconv.Itoa(g.Max))
 	g.UserID = u.ID
 	sub := SubmissionRec{
 		ID:       s.newID("sub"),
@@ -443,6 +500,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, u *User) {
 		Outcomes: res.Outcomes,
 		Grade:    g,
 		At:       s.clock(),
+		TraceID:  res.TraceID,
 	}
 	g.SubmissionID = sub.ID
 	if dl, ok := s.deadlines[l.ID]; ok && sub.At.After(dl) {
@@ -454,13 +512,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, u *User) {
 		}
 		return tx.Put("grades", codeKey(u.ID, l.ID), g)
 	}); err != nil {
-		writeErr(w, http.StatusInternalServerError, "%v", err)
+		writeErr(w, http.StatusInternalServerError, ErrCodeInternal, "%v", err)
 		return
 	}
 	// Automatic write-back to the external gradebook (§IV-F).
 	if s.gradebook != nil {
 		if err := s.gradebook.Record(g); err != nil {
-			writeErr(w, http.StatusInternalServerError, "gradebook: %v", err)
+			writeErr(w, http.StatusInternalServerError, ErrCodeInternal, "gradebook: %v", err)
 			return
 		}
 	}
@@ -477,7 +535,7 @@ func (s *Server) handleGetGrade(w http.ResponseWriter, r *http.Request, u *User)
 		return tx.Get("grades", codeKey(u.ID, l.ID), &g)
 	})
 	if errors.Is(err, db.ErrNotFound) {
-		writeErr(w, http.StatusNotFound, "no grade yet")
+		writeErr(w, http.StatusNotFound, ErrCodeNotFound, "no grade yet")
 		return
 	}
 	writeJSON(w, http.StatusOK, g)
@@ -512,11 +570,11 @@ func (s *Server) handleShare(w http.ResponseWriter, r *http.Request, u *User) {
 	var att AttemptRec
 	err := s.db.View(func(tx *db.Tx) error { return tx.Get("attempts", attID, &att) })
 	if err != nil {
-		writeErr(w, http.StatusNotFound, "no attempt %q", attID)
+		writeErr(w, http.StatusNotFound, ErrCodeNotFound, "no attempt %q", attID)
 		return
 	}
 	if att.UserID != u.ID {
-		writeErr(w, http.StatusForbidden, "not your attempt")
+		writeErr(w, http.StatusForbidden, ErrCodeForbidden, "not your attempt")
 		return
 	}
 	dl, ok := s.deadlines[att.LabID]
@@ -533,7 +591,7 @@ func (s *Server) handleShare(w http.ResponseWriter, r *http.Request, u *User) {
 		}
 		return tx.Put("shares", att.ShareTok, map[string]string{"attempt": att.ID})
 	}); err != nil {
-		writeErr(w, http.StatusInternalServerError, "%v", err)
+		writeErr(w, http.StatusInternalServerError, ErrCodeInternal, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"url": "/api/share/" + att.ShareTok})
@@ -550,7 +608,7 @@ func (s *Server) handleViewShare(w http.ResponseWriter, r *http.Request) {
 		return tx.Get("attempts", ref["attempt"], &att)
 	})
 	if err != nil {
-		writeErr(w, http.StatusNotFound, "no such share")
+		writeErr(w, http.StatusNotFound, ErrCodeNotFound, "no such share")
 		return
 	}
 	writeJSON(w, http.StatusOK, att)
@@ -573,11 +631,11 @@ func (s *Server) handleCompleteReview(w http.ResponseWriter, r *http.Request, u 
 		Text   string `json:"text"`
 	}
 	if err := readJSON(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, http.StatusBadRequest, ErrCodeBadRequest, "%v", err)
 		return
 	}
 	if err := s.reviews.Complete(req.LabID, u.ID, req.Author); err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, http.StatusBadRequest, ErrCodeBadRequest, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{

@@ -8,6 +8,7 @@
 package webserver
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
@@ -22,22 +23,29 @@ import (
 	"webgpu/internal/db"
 	"webgpu/internal/grader"
 	"webgpu/internal/labs"
+	"webgpu/internal/metrics"
 	"webgpu/internal/peerreview"
 	"webgpu/internal/sandbox"
+	"webgpu/internal/trace"
 	"webgpu/internal/worker"
 )
 
 // Dispatcher sends a job to the worker tier and waits for its result;
-// v1 pushes to a registry, v2 publishes to the broker.
+// v1 pushes to a registry, v2 publishes to the broker. The context
+// carries the request's trace and its cancellation: when the student
+// disconnects or a deadline passes, the worker tier stops launching
+// further datasets instead of burning simulated-GPU time.
 type Dispatcher interface {
-	Dispatch(job *worker.Job) (*worker.Result, error)
+	Dispatch(ctx context.Context, job *worker.Job) (*worker.Result, error)
 }
 
 // DispatcherFunc adapts a function to the Dispatcher interface.
-type DispatcherFunc func(job *worker.Job) (*worker.Result, error)
+type DispatcherFunc func(ctx context.Context, job *worker.Job) (*worker.Result, error)
 
 // Dispatch implements Dispatcher.
-func (f DispatcherFunc) Dispatch(job *worker.Job) (*worker.Result, error) { return f(job) }
+func (f DispatcherFunc) Dispatch(ctx context.Context, job *worker.Job) (*worker.Result, error) {
+	return f(ctx, job)
+}
 
 // Config wires a server's dependencies.
 type Config struct {
@@ -48,6 +56,12 @@ type Config struct {
 	Course     labs.Course
 	Limits     sandbox.Limits
 	Clock      func() time.Time
+
+	// Metrics is the shared registry /api/admin/metrics dumps; nil
+	// creates a private one. Traces is the ring of recent job traces
+	// behind /api/admin/traces; nil creates one with default capacity.
+	Metrics *metrics.Registry
+	Traces  *trace.Store
 }
 
 // Server is the WebGPU web tier.
@@ -62,6 +76,8 @@ type Server struct {
 	mux       *http.ServeMux
 	nextID    atomic.Int64
 	deadlines map[string]time.Time
+	metrics   *metrics.Registry
+	traces    *trace.Store
 }
 
 // New builds a server.
@@ -78,6 +94,12 @@ func New(cfg Config) *Server {
 	if cfg.Course == "" {
 		cfg.Course = labs.CourseHPP
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	if cfg.Traces == nil {
+		cfg.Traces = trace.NewStore(0)
+	}
 	s := &Server{
 		db:        cfg.DB,
 		dispatch:  cfg.Dispatcher,
@@ -87,6 +109,8 @@ func New(cfg Config) *Server {
 		limiter:   sandbox.NewRateLimiter(cfg.Limits.SubmitInterval),
 		clock:     cfg.Clock,
 		deadlines: map[string]time.Time{},
+		metrics:   cfg.Metrics,
+		traces:    cfg.Traces,
 	}
 	s.limiter.SetClock(cfg.Clock)
 	s.db.CreateIndex("users", "email")
@@ -134,6 +158,9 @@ func (s *Server) routes() {
 	m.HandleFunc("POST /api/instructor/comment", s.instructor(s.handleComment))
 	m.HandleFunc("POST /api/instructor/reviews/assign/{lab}", s.instructor(s.handleAssignReviews))
 	m.HandleFunc("GET /api/instructor/export", s.instructor(s.handleExport))
+	m.HandleFunc("GET /api/admin/metrics", s.instructor(s.handleAdminMetrics))
+	m.HandleFunc("GET /api/admin/traces", s.instructor(s.handleAdminTraces))
+	m.HandleFunc("GET /api/admin/traces/{id}", s.instructor(s.handleAdminTrace))
 	m.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -176,6 +203,7 @@ type AttemptRec struct {
 	At        time.Time     `json:"at"`
 	Shared    bool          `json:"shared,omitempty"`
 	ShareTok  string        `json:"share_token,omitempty"`
+	TraceID   string        `json:"trace_id,omitempty"`
 }
 
 // SubmissionRec is a final graded submission.
@@ -188,6 +216,7 @@ type SubmissionRec struct {
 	Grade    *grader.Grade   `json:"grade"`
 	Late     bool            `json:"late,omitempty"`
 	At       time.Time       `json:"at"`
+	TraceID  string          `json:"trace_id,omitempty"`
 }
 
 // AnswersRec stores short-answer responses (§IV-A action 4).
@@ -216,8 +245,93 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, status int, format string, args ...interface{}) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+// Stable machine-readable error codes: clients switch on these, the
+// human-readable message may change freely.
+const (
+	ErrCodeBadRequest        = "bad_request"
+	ErrCodeBadDataset        = "bad_dataset"
+	ErrCodeUnauthorized      = "unauthorized"
+	ErrCodeForbidden         = "forbidden"
+	ErrCodeNotFound          = "not_found"
+	ErrCodeConflict          = "conflict"
+	ErrCodeRateLimited       = "rate_limited"
+	ErrCodeWorkerUnavailable = "worker_unavailable"
+	ErrCodeInternal          = "internal"
+	ErrCodeNotImplemented    = "not_implemented"
+)
+
+// ErrorBody is the unified error envelope every handler returns:
+// {"error":{"code":"...","message":"..."}}.
+type ErrorBody struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// writeErr renders the unified error envelope with a stable machine code.
+func writeErr(w http.ResponseWriter, status int, code, format string, args ...interface{}) {
+	var body ErrorBody
+	body.Error.Code = code
+	body.Error.Message = fmt.Sprintf(format, args...)
+	writeJSON(w, status, body)
+}
+
+// page describes limit/offset pagination parsed from the query string.
+type page struct {
+	Limit  int
+	Offset int
+}
+
+// DefaultPageLimit bounds history/attempts responses when the client
+// does not pass an explicit limit — the unbounded listings were a
+// deadline-spike DoS on the web tier.
+const DefaultPageLimit = 50
+
+// parsePage reads limit/offset (strictly — a malformed value is a 400,
+// not a silent default). Reports ok=false after writing the error.
+func parsePage(w http.ResponseWriter, r *http.Request) (page, bool) {
+	p := page{Limit: DefaultPageLimit}
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, ErrCodeBadRequest, "invalid limit %q", v)
+			return p, false
+		}
+		p.Limit = n
+	}
+	if v := r.URL.Query().Get("offset"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, ErrCodeBadRequest, "invalid offset %q", v)
+			return p, false
+		}
+		p.Offset = n
+	}
+	return p, true
+}
+
+// paginated renders a limit/offset window over items with the total count.
+func paginated[T any](items []T, p page) map[string]interface{} {
+	total := len(items)
+	lo := p.Offset
+	if lo > total {
+		lo = total
+	}
+	hi := total
+	if p.Limit > 0 && lo+p.Limit < hi {
+		hi = lo + p.Limit
+	}
+	window := items[lo:hi]
+	if window == nil {
+		window = []T{}
+	}
+	return map[string]interface{}{
+		"total":  total,
+		"limit":  p.Limit,
+		"offset": p.Offset,
+		"items":  window,
+	}
 }
 
 func readJSON(r *http.Request, v interface{}) error {
@@ -244,7 +358,7 @@ func (s *Server) auth(h authedHandler) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		token := strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
 		if token == "" {
-			writeErr(w, http.StatusUnauthorized, "missing bearer token")
+			writeErr(w, http.StatusUnauthorized, ErrCodeUnauthorized, "missing bearer token")
 			return
 		}
 		var sess sessionRec
@@ -256,7 +370,7 @@ func (s *Server) auth(h authedHandler) http.HandlerFunc {
 			return tx.Get("users", sess.UserID, &u)
 		})
 		if err != nil {
-			writeErr(w, http.StatusUnauthorized, "invalid session")
+			writeErr(w, http.StatusUnauthorized, ErrCodeUnauthorized, "invalid session")
 			return
 		}
 		h(w, r, &u)
@@ -267,7 +381,7 @@ func (s *Server) auth(h authedHandler) http.HandlerFunc {
 func (s *Server) instructor(h authedHandler) http.HandlerFunc {
 	return s.auth(func(w http.ResponseWriter, r *http.Request, u *User) {
 		if u.Role != "instructor" {
-			writeErr(w, http.StatusForbidden, "instructor role required")
+			writeErr(w, http.StatusForbidden, ErrCodeForbidden, "instructor role required")
 			return
 		}
 		h(w, r, u)
@@ -280,7 +394,7 @@ func (s *Server) labFromPath(w http.ResponseWriter, r *http.Request) *labs.Lab {
 	id := r.PathValue("lab")
 	l := labs.ByID(id)
 	if l == nil || !l.UsedBy(s.course) {
-		writeErr(w, http.StatusNotFound, "no lab %q in course %s", id, s.course)
+		writeErr(w, http.StatusNotFound, ErrCodeNotFound, "no lab %q in course %s", id, s.course)
 		return nil
 	}
 	return l
@@ -304,13 +418,3 @@ func (s *Server) loadSource(userID string, l *labs.Lab) string {
 	return rec.Source
 }
 
-func atoiDefault(s string, def int) int {
-	if s == "" {
-		return def
-	}
-	n, err := strconv.Atoi(s)
-	if err != nil {
-		return def
-	}
-	return n
-}

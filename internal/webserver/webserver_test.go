@@ -2,6 +2,7 @@ package webserver
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"math/rand"
 	"net/http"
@@ -22,8 +23,8 @@ import (
 // registry) so webserver behaviour can be tested in isolation.
 func fakeDispatcher() Dispatcher {
 	node := worker.NewNode(worker.DefaultNodeConfig("test-worker"))
-	return DispatcherFunc(func(job *worker.Job) (*worker.Result, error) {
-		return node.Execute(job), nil
+	return DispatcherFunc(func(ctx context.Context, job *worker.Job) (*worker.Result, error) {
+		return node.Execute(ctx, job), nil
 	})
 }
 
@@ -447,5 +448,70 @@ func TestAttemptStoredOnWorkerError(t *testing.T) {
 	_ = json.Unmarshal(body, &att)
 	if att.Outcome == nil || att.Outcome.RuntimeError == "" {
 		t.Fatalf("runtime error not recorded: %+v", att.Outcome)
+	}
+}
+
+func TestHistoryPagination(t *testing.T) {
+	f := newFixture(t)
+	tok := f.register("a@x", "student")
+	for _, src := range []string{"// v1", "// v2", "// v3"} {
+		f.req("POST", "/api/labs/vector-add/save", tok, map[string]string{"source": src})
+	}
+	type histPage struct {
+		Total  int       `json:"total"`
+		Limit  int       `json:"limit"`
+		Offset int       `json:"offset"`
+		Items  []CodeRec `json:"items"`
+	}
+	code, body := f.req("GET", "/api/labs/vector-add/history?limit=2&offset=1", tok, nil)
+	if code != http.StatusOK {
+		t.Fatalf("history = %d %s", code, body)
+	}
+	var page histPage
+	if err := json.Unmarshal(body, &page); err != nil {
+		t.Fatal(err)
+	}
+	if page.Total != 3 || page.Limit != 2 || page.Offset != 1 {
+		t.Fatalf("page meta = %+v", page)
+	}
+	if len(page.Items) != 2 || page.Items[0].Rev != 2 || page.Items[1].Rev != 3 {
+		t.Fatalf("page items = %+v", page.Items)
+	}
+
+	// Offset past the end yields an empty (not null) window.
+	_, body = f.req("GET", "/api/labs/vector-add/history?offset=99", tok, nil)
+	page = histPage{}
+	_ = json.Unmarshal(body, &page)
+	if page.Total != 3 || page.Items == nil || len(page.Items) != 0 {
+		t.Fatalf("past-the-end page = %+v", page)
+	}
+
+	// Malformed paging parameters are rejected with the error envelope.
+	for _, q := range []string{"limit=banana", "offset=-2", "limit=-1"} {
+		code, body := f.req("GET", "/api/labs/vector-add/history?"+q, tok, nil)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s = %d, want 400 (%s)", q, code, body)
+			continue
+		}
+		var env ErrorBody
+		if err := json.Unmarshal(body, &env); err != nil || env.Error.Code != ErrCodeBadRequest {
+			t.Errorf("%s envelope = %s", q, body)
+		}
+	}
+}
+
+func TestAttemptCarriesTraceID(t *testing.T) {
+	f := newFixture(t)
+	tok := f.register("a@x", "student")
+	src := labs.ByID("vector-add").Reference
+	f.req("POST", "/api/labs/vector-add/save", tok, map[string]string{"source": src})
+	code, body := f.req("POST", "/api/labs/vector-add/attempt?dataset=0", tok, nil)
+	if code != http.StatusOK {
+		t.Fatalf("attempt = %d", code)
+	}
+	var att AttemptRec
+	_ = json.Unmarshal(body, &att)
+	if att.TraceID == "" {
+		t.Errorf("attempt has no trace_id: %s", body)
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"webgpu/internal/labs"
+	"webgpu/internal/trace"
 )
 
 // Dataset sentinels for Job.DatasetID.
@@ -30,6 +31,10 @@ type Job struct {
 	DatasetID    int      `json:"dataset_id"`
 	MaxSteps     int64    `json:"max_steps,omitempty"`
 	Requirements []string `json:"requirements,omitempty"`
+
+	// TraceID correlates the job with the web tier's end-to-end trace.
+	// On the v2 path it also rides the broker message as a meta tag.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Result is what a worker sends back to the web tier.
@@ -39,10 +44,19 @@ type Result struct {
 	Image        string          `json:"image,omitempty"`
 	Outcomes     []*labs.Outcome `json:"outcomes,omitempty"`
 	Rejected     bool            `json:"rejected,omitempty"` // failed the security scan
+	Canceled     bool            `json:"canceled,omitempty"` // the job's context expired mid-pipeline
 	Error        string          `json:"error,omitempty"`
 	QueueWait    time.Duration   `json:"queue_wait,omitempty"`
 	ExecDuration time.Duration   `json:"exec_duration,omitempty"`
 	CompletedAt  time.Time       `json:"completed_at"`
+
+	// TraceID echoes Job.TraceID; Spans carries the worker-side spans
+	// back across a process boundary (the v2 result topic) so the web
+	// tier can merge them into the canonical trace. On the v1 in-process
+	// path the node writes straight into the context's trace and Spans
+	// stays empty.
+	TraceID string       `json:"trace_id,omitempty"`
+	Spans   []trace.Span `json:"spans,omitempty"`
 }
 
 // Correct reports whether every outcome passed.

@@ -1,7 +1,9 @@
 package worker
 
 import (
+	"context"
 	"fmt"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -10,6 +12,7 @@ import (
 	"webgpu/internal/minicuda"
 	"webgpu/internal/progcache"
 	"webgpu/internal/sandbox"
+	"webgpu/internal/trace"
 )
 
 // Node is the execution core shared by the v1 (push) and v2 (poll)
@@ -52,6 +55,11 @@ type NodeConfig struct {
 	// ProgCache is the compiled-program cache the node's pipeline uses;
 	// nil uses the process-wide progcache.Default.
 	ProgCache *progcache.Cache
+
+	// Metrics is the registry the node reports into; nil creates a
+	// private one. The platform passes its shared registry so every
+	// node's counters land in one /api/admin/metrics dump.
+	Metrics *metrics.Registry
 }
 
 // DefaultNodeConfig returns a single-GPU CUDA worker configuration.
@@ -116,6 +124,10 @@ func NewNode(cfg NodeConfig) *Node {
 	if progs == nil {
 		progs = progcache.Default
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	return &Node{
 		ID:      cfg.ID,
 		GPUs:    gpus,
@@ -123,7 +135,7 @@ func NewNode(cfg NodeConfig) *Node {
 		pool:    NewPool(images, gpus, perImage),
 		scanner: sandbox.NewScanner(nil, cfg.ScanMode),
 		limits:  limits,
-		metrics: metrics.NewRegistry(),
+		metrics: reg,
 		progs:   progs,
 		sem:     make(chan struct{}, maxConc),
 	}
@@ -159,12 +171,54 @@ func (n *Node) InflightHighWater() int { return int(n.inflightHW.Load()) }
 // container teardown. Result.QueueWait carries the time the job spent
 // blocked on admission (a loaded node queues jobs at its semaphore the
 // way the v1 web tier queued them behind busy workers).
-func (n *Node) Execute(job *Job) *Result {
-	res := &Result{JobID: job.ID, WorkerID: n.ID}
+//
+// The context carries both cancellation (a done ctx aborts admission
+// waits, compile waits, and the per-dataset fan-out) and, on the v1
+// in-process path, the job's trace. On the v2 path the job arrives with
+// only a TraceID; the node then builds a local span collector and ships
+// the spans back on the Result.
+func (n *Node) Execute(ctx context.Context, job *Job) *Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res := &Result{JobID: job.ID, WorkerID: n.ID, TraceID: job.TraceID}
+	tr := trace.FromContext(ctx)
+	owned := false // we built the collector, so we must export its spans
+	if tr == nil && job.TraceID != "" {
+		tr = trace.New(job.TraceID)
+		owned = true
+	}
+	if res.TraceID == "" {
+		res.TraceID = tr.ID()
+	}
+	exportSpans := func() {
+		if owned {
+			res.Spans = tr.Spans()
+		}
+	}
+
 	enqueued := time.Now()
-	n.sem <- struct{}{}
+	adm := tr.StartSpan("admission", "worker", n.ID)
+	if done := ctx.Done(); done == nil {
+		n.sem <- struct{}{} // uncancellable ctx: skip the select fast path
+	} else {
+		select {
+		case n.sem <- struct{}{}:
+		case <-done:
+			res.QueueWait = time.Since(enqueued)
+			res.Canceled = true
+			res.Error = "worker: " + ctx.Err().Error()
+			res.CompletedAt = time.Now()
+			adm.EndAttrs("canceled", "true")
+			n.metrics.Inc("jobs_canceled", 1)
+			exportSpans()
+			return res
+		}
+	}
 	defer func() { <-n.sem }()
 	res.QueueWait = time.Since(enqueued)
+	adm.End()
+	n.metrics.ObserveDuration("stage_admission_ms", res.QueueWait)
 
 	cur := n.inflight.Add(1)
 	defer n.inflight.Add(-1)
@@ -182,6 +236,7 @@ func (n *Node) Execute(job *Job) *Result {
 		n.metrics.Inc("jobs_total", 1)
 		n.metrics.ObserveDuration("job_exec_ms", res.ExecDuration)
 		n.metrics.ObserveDuration("job_queue_wait_ms", res.QueueWait)
+		exportSpans()
 	}()
 
 	lab := labs.ByID(job.LabID)
@@ -192,7 +247,12 @@ func (n *Node) Execute(job *Job) *Result {
 	}
 
 	// Compile-time blacklist (§III-D).
-	if err := n.scanner.Check(job.Source); err != nil {
+	scan := tr.StartSpan("scan")
+	err := n.scanner.Check(job.Source)
+	if scan != nil {
+		scan.EndAttrs("rejected", strconv.FormatBool(err != nil))
+	}
+	if err != nil {
 		res.Rejected = true
 		res.Error = err.Error()
 		n.metrics.Inc("jobs_rejected", 1)
@@ -243,17 +303,26 @@ func (n *Node) Execute(job *Job) *Result {
 	// Compile exactly once per job through the content-addressed program
 	// cache — identical sources across jobs compile once per process.
 	compileStart := time.Now()
-	prog, status, cerr := n.compileSubmission(job.Source, lab.Dialect)
+	prog, status, cerr := n.compileSubmission(ctx, job.Source, lab.Dialect)
 	compileWall := time.Since(compileStart)
+	cacheAttr := "miss"
 	switch status {
 	case progcache.Hit:
+		cacheAttr = "hit"
 		n.metrics.Inc("progcache_hits", 1)
 	case progcache.Coalesced:
+		cacheAttr = "coalesced"
 		n.metrics.Inc("progcache_coalesced", 1)
 	default:
 		n.metrics.Inc("progcache_misses", 1)
 	}
+	if tr != nil { // skip building the attr map on untraced jobs
+		tr.Add(trace.Span{Name: "compile", Start: compileStart, Dur: compileWall,
+			Attrs: map[string]string{"cache": cacheAttr, "ok": strconv.FormatBool(cerr == nil)}})
+	}
+	n.metrics.ObserveDuration("stage_compile_ms", compileWall)
 
+	execStart := time.Now()
 	switch {
 	case cerr != nil:
 		res.Outcomes = compileErrorOutcomes(lab, job.DatasetID, cerr, compileWall)
@@ -261,30 +330,49 @@ func (n *Node) Execute(job *Job) *Result {
 		res.Outcomes = []*labs.Outcome{{LabID: lab.ID, DatasetID: -1,
 			Compiled: true, WallTime: compileWall}}
 	case job.DatasetID == DatasetAll:
-		res.Outcomes = labs.RunAllCompiled(lab, prog, ctr.Devices, maxSteps)
+		res.Outcomes = labs.RunAllCompiled(ctx, lab, prog, ctr.Devices, maxSteps)
 	default:
-		res.Outcomes = []*labs.Outcome{labs.RunCompiled(lab, prog, job.DatasetID, ctr.Devices, maxSteps)}
+		res.Outcomes = []*labs.Outcome{labs.RunCompiled(ctx, lab, prog, job.DatasetID, ctr.Devices, maxSteps)}
 	}
+	n.metrics.ObserveDuration("stage_exec_ms", time.Since(execStart))
 	for _, o := range res.Outcomes {
 		clamped, truncated := n.limits.ClampOutput(o.Trace)
 		if truncated {
 			o.Trace = clamped
 		}
-		if o.Correct {
+		if tr != nil && (o.Ran || o.Canceled) {
+			tr.Add(trace.Span{
+				Name:  fmt.Sprintf("exec[dataset=%d]", o.DatasetID),
+				Start: execStart, Dur: o.WallTime,
+				Attrs: map[string]string{
+					"correct":  strconv.FormatBool(o.Correct),
+					"canceled": strconv.FormatBool(o.Canceled),
+					"sim_time": o.SimTime.String(),
+				}})
+		}
+		switch {
+		case o.Canceled:
+			res.Canceled = true
+			n.metrics.Inc("outcomes_canceled", 1)
+		case o.Correct:
 			n.metrics.Inc("outcomes_correct", 1)
-		} else {
+		default:
 			n.metrics.Inc("outcomes_incorrect", 1)
 		}
+	}
+	if res.Canceled {
+		n.metrics.Inc("jobs_canceled", 1)
 	}
 	return res
 }
 
 // compileSubmission compiles through the node's program cache, enforcing
 // the sandbox.Limits.CompileTimeout (§III-C: "time limits are placed ...
-// on the duration of the compilation"). A timed-out compile is abandoned;
-// it still completes in the background and populates the cache.
-func (n *Node) compileSubmission(src string, dialect minicuda.Dialect) (*minicuda.Program, progcache.Status, error) {
-	if n.limits.CompileTimeout <= 0 {
+// on the duration of the compilation"). A timed-out or cancelled compile
+// is abandoned; it still completes in the background and populates the
+// cache.
+func (n *Node) compileSubmission(ctx context.Context, src string, dialect minicuda.Dialect) (*minicuda.Program, progcache.Status, error) {
+	if n.limits.CompileTimeout <= 0 && ctx.Done() == nil {
 		return n.progs.CompileStatus(src, dialect)
 	}
 	type compiled struct {
@@ -297,12 +385,18 @@ func (n *Node) compileSubmission(src string, dialect minicuda.Dialect) (*minicud
 		p, st, err := n.progs.CompileStatus(src, dialect)
 		ch <- compiled{p, st, err}
 	}()
-	timer := time.NewTimer(n.limits.CompileTimeout)
-	defer timer.Stop()
+	var timeout <-chan time.Time
+	if n.limits.CompileTimeout > 0 {
+		timer := time.NewTimer(n.limits.CompileTimeout)
+		defer timer.Stop()
+		timeout = timer.C
+	}
 	select {
 	case c := <-ch:
 		return c.prog, c.status, c.err
-	case <-timer.C:
+	case <-ctx.Done():
+		return nil, progcache.Miss, fmt.Errorf("sandbox: compilation abandoned: %w", ctx.Err())
+	case <-timeout:
 		n.metrics.Inc("compile_timeouts", 1)
 		return nil, progcache.Miss,
 			fmt.Errorf("sandbox: compilation exceeded the %v limit", n.limits.CompileTimeout)

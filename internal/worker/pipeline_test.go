@@ -1,6 +1,7 @@
 package worker
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -42,7 +43,7 @@ func TestNodeExecutesConcurrently(t *testing.T) {
 	for i := 0; i < k; i++ {
 		job := refJob(fmt.Sprintf("j%d", i), "vector-add", 0)
 		job.Source = uniqueSource(fmt.Sprintf("concurrent-%d", i))
-		go func(job *Job) { results <- n.Execute(job) }(job)
+		go func(job *Job) { results <- n.Execute(context.Background(), job) }(job)
 	}
 	// All k jobs must reach the compiler together; if execution were
 	// serialized, the first job would block in the gate forever while the
@@ -91,7 +92,7 @@ func TestNodeStressMixedSources(t *testing.T) {
 				}
 				job := refJob(fmt.Sprintf("s%d-%d", g, i), "vector-add", 0)
 				job.Source = src
-				if res := n.Execute(job); !res.Correct() {
+				if res := n.Execute(context.Background(), job); !res.Correct() {
 					t.Errorf("goroutine %d iter %d: %+v", g, i, res)
 					return
 				}
@@ -130,14 +131,14 @@ func TestNodeRunAllCompileOnce(t *testing.T) {
 	n := NewNode(cfg)
 
 	job := refJob("j1", "vector-add", DatasetAll)
-	if res := n.Execute(job); !res.Correct() {
+	if res := n.Execute(context.Background(), job); !res.Correct() {
 		t.Fatalf("grading run failed: %+v", res)
 	}
 	s := cache.Stats()
 	if s.Compiles != 1 || s.Misses != 1 || s.Hits != 0 {
 		t.Errorf("after RunAll: %+v (want exactly one compile)", s)
 	}
-	if res := n.Execute(refJob("j2", "vector-add", DatasetAll)); !res.Correct() {
+	if res := n.Execute(context.Background(), refJob("j2", "vector-add", DatasetAll)); !res.Correct() {
 		t.Fatalf("second grading run failed: %+v", res)
 	}
 	s = cache.Stats()
@@ -160,7 +161,7 @@ func TestNodeCompileTimeout(t *testing.T) {
 	cfg.ProgCache = cache
 	n := NewNode(cfg)
 
-	res := n.Execute(refJob("j1", "vector-add", 0))
+	res := n.Execute(context.Background(), refJob("j1", "vector-add", 0))
 	if len(res.Outcomes) != 1 {
 		t.Fatalf("outcomes = %+v", res.Outcomes)
 	}
@@ -180,7 +181,7 @@ func TestNodeRejectsDatasetBeforeCompile(t *testing.T) {
 	cfg := DefaultNodeConfig("range")
 	cfg.ProgCache = cache
 	n := NewNode(cfg)
-	res := n.Execute(refJob("j1", "vector-add", 99))
+	res := n.Execute(context.Background(), refJob("j1", "vector-add", 99))
 	if len(res.Outcomes) != 1 || !strings.Contains(res.Outcomes[0].RuntimeError, "out of range") {
 		t.Fatalf("result = %+v", res)
 	}
@@ -238,7 +239,7 @@ func TestV1DispatchQueueWait(t *testing.T) {
 	first.Source = uniqueSource("queuewait-hold")
 	done := make(chan *Result, 1)
 	go func() {
-		res, err := reg.Dispatch(first)
+		res, err := reg.Dispatch(context.Background(), first)
 		if err != nil {
 			t.Errorf("dispatch: %v", err)
 		}
@@ -252,7 +253,7 @@ func TestV1DispatchQueueWait(t *testing.T) {
 
 	second := refJob("wait", "vector-add", 0)
 	second.Source = uniqueSource("queuewait-blocked")
-	res, err := reg.Dispatch(second) // queues behind the held job
+	res, err := reg.Dispatch(context.Background(), second) // queues behind the held job
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,9 +1,12 @@
 package worker
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"time"
+
+	"webgpu/internal/trace"
 )
 
 // v1 architecture (§III, Figure 2): the web server *pushes* jobs to a
@@ -134,8 +137,14 @@ func (r *Registry) StartHeartbeats(interval time.Duration) (stop func()) {
 // Dispatch pushes a job to a live, capable, least-loaded worker and runs
 // it synchronously, returning the worker's result. This is the v1 flow:
 // "the web-server acts as an intermediary, dispatching jobs to a node in
-// the pool of workers and relaying the results" (§III-A).
-func (r *Registry) Dispatch(job *Job) (*Result, error) {
+// the pool of workers and relaying the results" (§III-A). The context
+// carries the job's trace (the node writes spans straight into it) and
+// cancellation: a job cancelled mid-flight returns its partial result
+// alongside ctx's error.
+func (r *Registry) Dispatch(ctx context.Context, job *Job) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	r.mu.Lock()
 	now := r.clock()
 	r.evictStaleLocked(now)
@@ -156,7 +165,7 @@ func (r *Registry) Dispatch(job *Job) (*Result, error) {
 	r.mu.Unlock()
 
 	dispatchStart := time.Now()
-	res := pick.node.Execute(job)
+	res := pick.node.Execute(ctx, job)
 
 	// The push path reports queue wait too, so Figure 2 comparisons no
 	// longer under-report v1 latency: everything between dispatch and the
@@ -165,9 +174,16 @@ func (r *Registry) Dispatch(job *Job) (*Result, error) {
 	if wait := time.Since(dispatchStart) - res.ExecDuration; wait > res.QueueWait {
 		res.QueueWait = wait
 	}
+	if tr := trace.FromContext(ctx); tr != nil {
+		tr.Add(trace.Span{Name: "queue_wait", Start: dispatchStart, Dur: res.QueueWait,
+			Attrs: map[string]string{"worker": res.WorkerID, "arch": "v1"}})
+	}
 
 	r.mu.Lock()
 	pick.inflight--
 	r.mu.Unlock()
+	if res.Canceled && ctx.Err() != nil {
+		return res, ctx.Err()
+	}
 	return res, nil
 }

@@ -1,11 +1,14 @@
 package worker
 
 import (
+	"context"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"webgpu/internal/queue"
+	"webgpu/internal/trace"
 )
 
 // v2 architecture (§VI, Figures 6-7): workers *poll* the message broker
@@ -164,8 +167,28 @@ func (d *Driver) loop(cfg Config) {
 		// used to fold the run itself into the queue-wait figure); the
 		// node adds its own admission wait inside Execute.
 		brokerWait := time.Since(delivery.Msg.Enqueued)
-		res := d.node.Execute(job)
+		// The trace ID rides the job (and the message's meta tag as a
+		// fallback); the driver collects the worker-side spans locally
+		// and ships them back on the result for the web tier to merge.
+		traceID := job.TraceID
+		if traceID == "" {
+			traceID = queue.TraceTag(delivery.Msg.Tags)
+			job.TraceID = traceID
+		}
+		ctx := context.Background()
+		var tr *trace.Trace
+		if traceID != "" {
+			tr = trace.New(traceID)
+			tr.Add(trace.Span{Name: "queue_wait", Start: delivery.Msg.Enqueued,
+				Dur: brokerWait, Attrs: map[string]string{"worker": d.node.ID, "arch": "v2",
+					"attempts": strconv.Itoa(delivery.Msg.Attempts)}})
+			ctx = trace.NewContext(ctx, tr)
+		}
+		res := d.node.Execute(ctx, job)
 		res.QueueWait += brokerWait
+		if tr != nil {
+			res.Spans = tr.Spans()
+		}
 		if _, err := d.broker.Publish(TopicResults, EncodeResult(res)); err != nil {
 			_ = delivery.Nack()
 			continue

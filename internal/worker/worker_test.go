@@ -1,6 +1,7 @@
 package worker
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -19,7 +20,7 @@ func refJob(id, labID string, dataset int) *Job {
 
 func TestNodeExecutesReference(t *testing.T) {
 	n := NewNode(DefaultNodeConfig("w1"))
-	res := n.Execute(refJob("j1", "vector-add", 0))
+	res := n.Execute(context.Background(), refJob("j1", "vector-add", 0))
 	if res.Error != "" || res.Rejected {
 		t.Fatalf("result = %+v", res)
 	}
@@ -33,7 +34,7 @@ func TestNodeExecutesReference(t *testing.T) {
 
 func TestNodeCompileOnly(t *testing.T) {
 	n := NewNode(DefaultNodeConfig("w1"))
-	res := n.Execute(refJob("j1", "vector-add", DatasetCompileOnly))
+	res := n.Execute(context.Background(), refJob("j1", "vector-add", DatasetCompileOnly))
 	if len(res.Outcomes) != 1 || !res.Outcomes[0].Compiled || res.Outcomes[0].Ran {
 		t.Fatalf("outcomes = %+v", res.Outcomes)
 	}
@@ -41,7 +42,7 @@ func TestNodeCompileOnly(t *testing.T) {
 
 func TestNodeRunAll(t *testing.T) {
 	n := NewNode(DefaultNodeConfig("w1"))
-	res := n.Execute(refJob("j1", "scatter-to-gather", DatasetAll))
+	res := n.Execute(context.Background(), refJob("j1", "scatter-to-gather", DatasetAll))
 	want := labs.ByID("scatter-to-gather").NumDatasets
 	if len(res.Outcomes) != want {
 		t.Fatalf("outcomes = %d, want %d", len(res.Outcomes), want)
@@ -55,7 +56,7 @@ func TestNodeRejectsBlacklistedSource(t *testing.T) {
 	n := NewNode(DefaultNodeConfig("w1"))
 	job := refJob("j1", "vector-add", 0)
 	job.Source = `__global__ void vecAdd(float *a, float *b, float *c, int n) { asm("nop"); }`
-	res := n.Execute(job)
+	res := n.Execute(context.Background(), job)
 	if !res.Rejected {
 		t.Fatalf("blacklisted source not rejected: %+v", res)
 	}
@@ -70,18 +71,18 @@ func TestNodeScanModeConfigurable(t *testing.T) {
 	n := NewNode(cfg)
 	job := refJob("j1", "vector-add", 0)
 	job.Source = "// asm in a comment is fine\n" + labs.ByID("vector-add").Reference
-	if res := n.Execute(job); res.Rejected {
+	if res := n.Execute(context.Background(), job); res.Rejected {
 		t.Fatalf("preprocessed scanner flagged a comment: %s", res.Error)
 	}
 	raw := NewNode(DefaultNodeConfig("w2"))
-	if res := raw.Execute(job); !res.Rejected {
+	if res := raw.Execute(context.Background(), job); !res.Rejected {
 		t.Fatal("raw scanner missed the commented asm (paper behaviour)")
 	}
 }
 
 func TestNodeSelectsOpenCLImage(t *testing.T) {
 	n := NewNode(DefaultNodeConfig("w1"))
-	res := n.Execute(refJob("j1", "opencl-vector-add", 0))
+	res := n.Execute(context.Background(), refJob("j1", "opencl-vector-add", 0))
 	if !res.Correct() {
 		t.Fatalf("opencl job failed: %+v", res)
 	}
@@ -143,7 +144,7 @@ func TestNodeSelectsOpenACCImage(t *testing.T) {
 	defer labs.Unregister(acc.ID)
 
 	n := NewNode(DefaultNodeConfig("w-acc"))
-	res := n.Execute(&Job{ID: "j", LabID: acc.ID, Source: acc.Reference, DatasetID: 0})
+	res := n.Execute(context.Background(), &Job{ID: "j", LabID: acc.ID, Source: acc.Reference, DatasetID: 0})
 	if !res.Correct() {
 		t.Fatalf("openacc job failed: error=%q outcomes=%+v", res.Error, res.Outcomes)
 	}
@@ -159,7 +160,7 @@ func TestNodeMultiGPUJob(t *testing.T) {
 	if !n.Tags[labs.ReqMultiGPU] || !n.Tags[labs.ReqMPI] {
 		t.Fatalf("tags = %v", n.Tags)
 	}
-	res := n.Execute(refJob("j1", "mpi-stencil", 0))
+	res := n.Execute(context.Background(), refJob("j1", "mpi-stencil", 0))
 	if !res.Correct() {
 		t.Fatalf("mpi job failed: error=%q outcome=%+v", res.Error, res.Outcomes)
 	}
@@ -186,7 +187,7 @@ func TestNodeCanServe(t *testing.T) {
 
 func TestNodeUnknownLab(t *testing.T) {
 	n := NewNode(DefaultNodeConfig("w1"))
-	res := n.Execute(&Job{ID: "j", LabID: "nope", Source: "x"})
+	res := n.Execute(context.Background(), &Job{ID: "j", LabID: "nope", Source: "x"})
 	if res.Error == "" {
 		t.Fatal("unknown lab accepted")
 	}
@@ -195,7 +196,7 @@ func TestNodeUnknownLab(t *testing.T) {
 func TestContainerPoolRecycles(t *testing.T) {
 	n := NewNode(DefaultNodeConfig("w1"))
 	for i := 0; i < 5; i++ {
-		res := n.Execute(refJob("j", "vector-add", 0))
+		res := n.Execute(context.Background(), refJob("j", "vector-add", 0))
 		if !res.Correct() {
 			t.Fatalf("run %d failed", i)
 		}
@@ -249,7 +250,7 @@ func TestRegistryDispatch(t *testing.T) {
 	r := NewRegistry(time.Minute)
 	r.Register(NewNode(DefaultNodeConfig("w1")))
 	r.Register(NewNode(DefaultNodeConfig("w2")))
-	res, err := r.Dispatch(refJob("j1", "vector-add", 0))
+	res, err := r.Dispatch(context.Background(), refJob("j1", "vector-add", 0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,7 +300,7 @@ func TestRegistryHeartbeatsKeepWorkersAlive(t *testing.T) {
 func TestRegistryNoCapableWorker(t *testing.T) {
 	r := NewRegistry(time.Minute)
 	r.Register(NewNode(DefaultNodeConfig("w1"))) // 1 GPU, no MPI-capable GPUs count
-	_, err := r.Dispatch(refJob("j1", "mpi-stencil", 0))
+	_, err := r.Dispatch(context.Background(), refJob("j1", "mpi-stencil", 0))
 	if !errors.Is(err, ErrNoWorkers) {
 		t.Fatalf("err = %v", err)
 	}
@@ -307,7 +308,7 @@ func TestRegistryNoCapableWorker(t *testing.T) {
 
 func TestRegistryEmptyPool(t *testing.T) {
 	r := NewRegistry(time.Minute)
-	if _, err := r.Dispatch(refJob("j", "vector-add", 0)); !errors.Is(err, ErrNoWorkers) {
+	if _, err := r.Dispatch(context.Background(), refJob("j", "vector-add", 0)); !errors.Is(err, ErrNoWorkers) {
 		t.Fatalf("err = %v", err)
 	}
 }
