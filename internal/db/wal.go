@@ -6,16 +6,19 @@ import (
 	"fmt"
 	"io"
 	"sync"
+
+	"webgpu/internal/faultinject"
 )
 
 // WAL is a write-ahead log of committed entries, one JSON document per
 // line. Attaching a WAL to a DB makes every subsequent commit durable;
 // Replay reconstructs a DB from a log stream.
 type WAL struct {
-	mu  sync.Mutex
-	w   *bufio.Writer
-	n   int
-	raw io.Writer
+	mu     sync.Mutex
+	w      *bufio.Writer
+	n      int
+	raw    io.Writer
+	faults *faultinject.Registry
 }
 
 // NewWAL wraps a writer as a WAL sink.
@@ -23,9 +26,20 @@ func NewWAL(w io.Writer) *WAL {
 	return &WAL{w: bufio.NewWriter(w), raw: w}
 }
 
+// SetFaults attaches a fault-injection registry so tests can fail the
+// append path (a full disk, in production terms).
+func (wal *WAL) SetFaults(f *faultinject.Registry) {
+	wal.mu.Lock()
+	defer wal.mu.Unlock()
+	wal.faults = f
+}
+
 func (wal *WAL) append(e Entry) error {
 	wal.mu.Lock()
 	defer wal.mu.Unlock()
+	if err := wal.faults.Fire(faultinject.PointWALAppend); err != nil {
+		return fmt.Errorf("db: wal append: %w", err)
+	}
 	raw, err := json.Marshal(e)
 	if err != nil {
 		return err

@@ -1,0 +1,47 @@
+package db
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"webgpu/internal/faultinject"
+)
+
+// TestWALAppendFaultPropagates: an injected WAL write failure (a full
+// disk) surfaces from the commit as a wrapped faultinject.ErrInjected,
+// and once the fault clears the database keeps logging. The in-memory
+// state was already applied — the WAL is a durability log, not a
+// commit gate — so the entry count simply lags by the lost append.
+func TestWALAppendFaultPropagates(t *testing.T) {
+	var buf bytes.Buffer
+	wal := NewWAL(&buf)
+	reg := faultinject.New(1)
+	wal.SetFaults(reg)
+	d := New()
+	d.AttachWAL(wal)
+
+	reg.Enable(faultinject.PointWALAppend, faultinject.Fault{Once: true})
+	err := d.Update(func(tx *Tx) error {
+		return tx.Put("users", "u1", user{Name: "Ada"})
+	})
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("commit error = %v, want ErrInjected", err)
+	}
+	if got := wal.Entries(); got != 0 {
+		t.Fatalf("entries = %d after failed append", got)
+	}
+
+	// The fault was Once: the next commit logs normally.
+	if err := d.Update(func(tx *Tx) error {
+		return tx.Put("users", "u2", user{Name: "Grace"})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := wal.Entries(); got != 1 {
+		t.Fatalf("entries = %d after recovery, want 1", got)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("nothing reached the WAL sink")
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"webgpu/internal/db"
+	"webgpu/internal/faultinject"
 	"webgpu/internal/grader"
 	"webgpu/internal/labs"
 	"webgpu/internal/metrics"
@@ -58,6 +59,12 @@ type Options struct {
 	ScanMode      sandbox.ScanMode
 	ReviewWeight  float64
 	DispatchWait  time.Duration // v2: how long to wait for a result
+	Visibility    time.Duration // v2: job lease duration (0 = default)
+
+	// Faults threads a fault-injection registry through the deployment:
+	// broker, workers, dispatch, and result routing. Nil disables
+	// injection at zero cost.
+	Faults *faultinject.Registry
 }
 
 // Platform is a running WebGPU deployment.
@@ -130,6 +137,7 @@ func New(opts Options) *Platform {
 	switch opts.Arch {
 	case V1:
 		p.Registry = worker.NewRegistry(worker.DefaultHealthTTL)
+		p.Registry.SetFaults(opts.Faults)
 		for i := 0; i < opts.Workers; i++ {
 			p.Registry.Register(p.newNode(i + 1))
 		}
@@ -142,15 +150,23 @@ func New(opts Options) *Platform {
 		p.Broker = queue.NewBroker()
 		p.StandbyBroker = queue.NewBroker()
 		p.Broker.Mirror(p.StandbyBroker)
-		p.ConfigServer = worker.NewConfigServer(worker.DefaultConfig())
+		p.Broker.SetFaults(opts.Faults)
+		wcfg := worker.DefaultConfig()
+		if opts.Visibility > 0 {
+			wcfg.Visibility = opts.Visibility
+		}
+		p.ConfigServer = worker.NewConfigServer(wcfg)
 		idx := 0
 		p.Fleet = worker.NewFleet(p.Broker, p.ConfigServer, func(id string) *worker.Node {
 			idx++
 			return p.newNode(idx)
 		})
+		// Standby and faults must be attached before Scale starts drivers.
+		p.Fleet.SetStandby(p.StandbyBroker)
+		p.Fleet.SetFaults(opts.Faults)
 		p.Fleet.Scale(opts.Workers)
 		p.Replica = db.NewReplica(p.DB)
-		p.router = newResultRouter(p.Broker)
+		p.router = newResultRouter(p.Broker, p.StandbyBroker, p.metrics)
 		// Broker gauges refresh per scrape, like the progcache ones above.
 		p.metrics.AddCollector(func(r *metrics.Registry) {
 			bs := p.Broker.Stats()
@@ -165,7 +181,7 @@ func New(opts Options) *Platform {
 		})
 	}
 
-	p.Server = webserver.New(webserver.Config{
+	scfg := webserver.Config{
 		DB:         p.DB,
 		Dispatcher: dispatcher,
 		Gradebook:  p.Gradebook,
@@ -173,7 +189,11 @@ func New(opts Options) *Platform {
 		Course:     opts.Course,
 		Metrics:    p.metrics,
 		Traces:     p.traces,
-	})
+	}
+	if p.Broker != nil {
+		scfg.Queue = p.Broker
+	}
+	p.Server = webserver.New(scfg)
 	return p
 }
 
@@ -183,6 +203,7 @@ func (p *Platform) newNode(i int) *worker.Node {
 	cfg.ScanMode = p.opts.ScanMode
 	cfg.ProgCache = p.progs
 	cfg.Metrics = p.metrics
+	cfg.Faults = p.opts.Faults
 	return worker.NewNode(cfg)
 }
 
@@ -197,6 +218,15 @@ func (p *Platform) ProgCache() *progcache.Cache { return p.progs }
 
 // Handler returns the HTTP handler of the web tier.
 func (p *Platform) Handler() http.Handler { return p.Server.Handler() }
+
+// ResultDuplicates reports how many duplicate results the v2 result
+// router dropped (0 on v1, which has no redelivery).
+func (p *Platform) ResultDuplicates() int64 {
+	if p.router == nil {
+		return 0
+	}
+	return p.router.dedup.Duplicates()
+}
 
 // Scale adjusts the worker count: replacing the pool in v1, resizing the
 // fleet in v2. This is the operation the paper performed the day before
@@ -294,18 +324,27 @@ func (p *Platform) dispatchV2(ctx context.Context, job *worker.Job) (*worker.Res
 }
 
 // resultRouter pumps the results topic and hands each result to the
-// goroutine waiting on its job ID.
+// goroutine waiting on its job ID. It is also where the platform enforces
+// at-least-once hygiene: a redelivered job's duplicate result is dropped
+// (acked but not delivered) via the dedup window, and when the primary
+// broker closes the router fails over to the standby mirror.
 type resultRouter struct {
 	broker  *queue.Broker
+	standby *queue.Broker
+	metrics *metrics.Registry
+	dedup   *worker.ResultDedup
 	mu      sync.Mutex
 	waiters map[string]chan *worker.Result
 	stopCh  chan struct{}
 	doneCh  chan struct{}
 }
 
-func newResultRouter(b *queue.Broker) *resultRouter {
+func newResultRouter(b, standby *queue.Broker, m *metrics.Registry) *resultRouter {
 	rr := &resultRouter{
 		broker:  b,
+		standby: standby,
+		metrics: m,
+		dedup:   worker.NewResultDedup(0),
 		waiters: map[string]chan *worker.Result{},
 		stopCh:  make(chan struct{}),
 		doneCh:  make(chan struct{}),
@@ -331,15 +370,33 @@ func (rr *resultRouter) unregister(jobID string) {
 func (rr *resultRouter) loop() {
 	defer close(rr.doneCh)
 	caps := map[string]bool{}
+	broker := rr.broker
 	for {
 		select {
 		case <-rr.stopCh:
 			return
 		default:
 		}
-		d, ok, err := rr.broker.Poll(worker.TopicResults, "web-tier", caps, time.Minute)
+		d, ok, err := broker.Poll(worker.TopicResults, "web-tier", caps, time.Minute)
 		if err != nil {
-			return
+			if errors.Is(err, queue.ErrClosed) {
+				// Primary broker gone: the standby mirror holds a copy of
+				// every result publish (§VI-A), so switch to it rather
+				// than orphaning in-flight waiters.
+				if rr.standby != nil && broker != rr.standby {
+					broker = rr.standby
+					rr.metrics.Inc("router_failovers", 1)
+					continue
+				}
+				return
+			}
+			// Transient poll failure: back off and keep routing.
+			select {
+			case <-rr.stopCh:
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+			continue
 		}
 		if !ok {
 			select {
@@ -352,6 +409,14 @@ func (rr *resultRouter) loop() {
 		res, derr := worker.DecodeResult(d.Msg.Payload)
 		if derr != nil {
 			_ = d.Nack()
+			continue
+		}
+		// At-least-once means a job that redelivered (worker crash after
+		// publish, expired lease) produces a second result. Only the first
+		// per job ID counts; duplicates are acked and dropped.
+		if !rr.dedup.Accept(res.JobID, res.Attempt) {
+			rr.metrics.Inc("broker_duplicate_results", 1)
+			_ = d.Ack()
 			continue
 		}
 		rr.mu.Lock()

@@ -13,6 +13,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"webgpu/internal/faultinject"
 )
 
 // Errors.
@@ -56,6 +58,7 @@ type Broker struct {
 	dead        []*Message
 	maxAttempts int
 	clock       func() time.Time
+	faults      *faultinject.Registry
 
 	mirror *Broker // standby in another availability zone
 
@@ -84,6 +87,15 @@ func (b *Broker) SetClock(clock func() time.Time) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.clock = clock
+}
+
+// SetFaults attaches a fault-injection registry; nil (the default)
+// disables injection. Latency faults stall the broker the way a
+// congested real broker would.
+func (b *Broker) SetFaults(r *faultinject.Registry) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.faults = r
 }
 
 // SetMaxAttempts adjusts the dead-letter threshold.
@@ -116,6 +128,9 @@ func (b *Broker) Publish(topic string, payload []byte, tags ...string) (string, 
 	defer b.mu.Unlock()
 	if b.closed {
 		return "", ErrClosed
+	}
+	if err := b.faults.Fire(faultinject.PointQueuePublish); err != nil {
+		return "", fmt.Errorf("queue: publish: %w", err)
 	}
 	b.nextID++
 	id := fmt.Sprintf("msg-%08d", b.nextID)
@@ -154,6 +169,9 @@ func (b *Broker) Poll(topic, consumer string, caps map[string]bool, visibility t
 	if b.closed {
 		return nil, false, ErrClosed
 	}
+	if err := b.faults.Fire(faultinject.PointQueuePoll); err != nil {
+		return nil, false, fmt.Errorf("queue: poll: %w", err)
+	}
 	now := b.clock()
 	b.expireLocked(now)
 	queue := b.topics[topic]
@@ -180,9 +198,27 @@ func (b *Broker) Poll(topic, consumer string, caps map[string]bool, visibility t
 
 // MetaPrefix marks informational tags (e.g. a job's trace ID) that ride
 // on a message without constraining which consumer may lease it. Tags
-// with this prefix are skipped during capability matching — otherwise a
+// with a meta prefix are skipped during capability matching — otherwise a
 // unique-per-job trace tag would make every job undeliverable.
 const MetaPrefix = "trace:"
+
+// MetaAttemptPrefix marks the informational tag carrying the delivery
+// attempt that produced a result message, so consumers of TopicResults
+// can recognise a redelivered job's duplicate result and dedup it.
+const MetaAttemptPrefix = "attempt:"
+
+// metaPrefixes lists every informational prefix exempt from capability
+// matching.
+var metaPrefixes = [...]string{MetaPrefix, MetaAttemptPrefix}
+
+func isMetaTag(tag string) bool {
+	for _, p := range metaPrefixes {
+		if strings.HasPrefix(tag, p) {
+			return true
+		}
+	}
+	return false
+}
 
 // MetaTrace builds the informational tag carrying a trace ID.
 func MetaTrace(id string) string { return MetaPrefix + id }
@@ -197,9 +233,25 @@ func TraceTag(tags []string) string {
 	return ""
 }
 
+// MetaAttempt builds the informational tag carrying a delivery attempt.
+func MetaAttempt(n int) string { return fmt.Sprintf("%s%d", MetaAttemptPrefix, n) }
+
+// AttemptTag extracts the delivery attempt from a message's tags, or 0.
+func AttemptTag(tags []string) int {
+	for _, t := range tags {
+		if strings.HasPrefix(t, MetaAttemptPrefix) {
+			var n int
+			if _, err := fmt.Sscanf(strings.TrimPrefix(t, MetaAttemptPrefix), "%d", &n); err == nil {
+				return n
+			}
+		}
+	}
+	return 0
+}
+
 func tagsSatisfied(tags []string, caps map[string]bool) bool {
 	for _, t := range tags {
-		if strings.HasPrefix(t, MetaPrefix) {
+		if isMetaTag(t) {
 			continue
 		}
 		if !caps[t] {
@@ -230,11 +282,16 @@ func (b *Broker) requeueLocked(msg *Message) {
 	b.topics[msg.Topic] = append(b.topics[msg.Topic], &pending{msg: msg})
 }
 
-// Ack completes a delivery; the message is gone.
+// Ack completes a delivery; the message is gone. A failed Ack (network
+// partition, injected fault) leaves the lease in place: it expires and
+// the message is redelivered — the at-least-once contract.
 func (d *Delivery) Ack() error {
 	b := d.b
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if err := b.faults.Fire(faultinject.PointQueueAck); err != nil {
+		return fmt.Errorf("queue: ack: %w", err)
+	}
 	if _, ok := b.inflight[d.Tag]; !ok {
 		return fmt.Errorf("%w: %s (already acked, nacked, or expired)", ErrUnknown, d.Tag)
 	}
@@ -330,6 +387,27 @@ func (b *Broker) DeadLetters() []*Message {
 type Stats struct {
 	Published, Delivered, Acked, Nacked, Redelivered, DeadLetters int64
 	Inflight                                                      int
+}
+
+// Unaccounted checks the broker's conservation invariant: every published
+// message is in exactly one of four states — acked (gone), dead-lettered,
+// leased in flight, or visible on a topic. It returns
+//
+//	published - acked - |dead| - |inflight| - |visible across all topics|
+//
+// which is zero on a healthy broker; a positive value means messages were
+// lost, a negative one means a message was double-counted. The chaos soak
+// harness asserts this stays zero under fault injection.
+func (b *Broker) Unaccounted() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.expireLocked(b.clock())
+	visible := 0
+	for _, q := range b.topics {
+		visible += len(q)
+	}
+	return b.stats.published - b.stats.acked -
+		int64(len(b.dead)) - int64(len(b.inflight)) - int64(visible)
 }
 
 // Stats returns a snapshot of the broker's counters.

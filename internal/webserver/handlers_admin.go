@@ -3,6 +3,9 @@ package webserver
 import (
 	"net/http"
 	"strconv"
+	"time"
+
+	"webgpu/internal/worker"
 )
 
 // Admin observability endpoints (instructor-gated): the Prometheus-style
@@ -34,6 +37,56 @@ func (s *Server) handleAdminTraces(w http.ResponseWriter, r *http.Request, u *Us
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"total":  s.traces.Len(),
 		"traces": s.traces.Recent(limit),
+	})
+}
+
+// deadLetterView is the admin rendering of one dead-lettered message:
+// enough to see which job poisoned the queue without dumping raw payloads.
+type deadLetterView struct {
+	ID       string    `json:"id"`
+	Topic    string    `json:"topic"`
+	JobID    string    `json:"job_id,omitempty"`
+	Tags     []string  `json:"tags,omitempty"`
+	Attempts int       `json:"attempts"`
+	Enqueued time.Time `json:"enqueued"`
+}
+
+// handleAdminDeadLetters lists the broker's dead-letter queue — jobs that
+// exhausted their delivery attempts and need an operator's eye before a
+// redrive puts them back in rotation.
+func (s *Server) handleAdminDeadLetters(w http.ResponseWriter, r *http.Request, u *User) {
+	if s.queue == nil {
+		writeErr(w, http.StatusNotImplemented, ErrCodeNotImplemented,
+			"this deployment has no message broker (v1 push dispatch)")
+		return
+	}
+	msgs := s.queue.DeadLetters()
+	views := make([]deadLetterView, 0, len(msgs))
+	for _, m := range msgs {
+		v := deadLetterView{ID: m.ID, Topic: m.Topic, Tags: m.Tags,
+			Attempts: m.Attempts, Enqueued: m.Enqueued}
+		if job, err := worker.DecodeJob(m.Payload); err == nil {
+			v.JobID = job.ID
+		}
+		views = append(views, v)
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"total":        len(views),
+		"dead_letters": views,
+	})
+}
+
+// handleAdminRedrive requeues every dead letter onto its original topic
+// with a fresh attempt budget (the SQS-style operator remedy after the
+// underlying fault is fixed).
+func (s *Server) handleAdminRedrive(w http.ResponseWriter, r *http.Request, u *User) {
+	if s.queue == nil {
+		writeErr(w, http.StatusNotImplemented, ErrCodeNotImplemented,
+			"this deployment has no message broker (v1 push dispatch)")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"redriven": s.queue.RedriveDeadLetters(),
 	})
 }
 

@@ -25,6 +25,7 @@ import (
 	"webgpu/internal/labs"
 	"webgpu/internal/metrics"
 	"webgpu/internal/peerreview"
+	"webgpu/internal/queue"
 	"webgpu/internal/sandbox"
 	"webgpu/internal/trace"
 	"webgpu/internal/worker"
@@ -47,6 +48,14 @@ func (f DispatcherFunc) Dispatch(ctx context.Context, job *worker.Job) (*worker.
 	return f(ctx, job)
 }
 
+// QueueAdmin is the slice of the broker the admin API needs: inspecting
+// and redriving dead letters. v1 deployments have no broker and leave it
+// nil, which renders the endpoints as 501s.
+type QueueAdmin interface {
+	DeadLetters() []*queue.Message
+	RedriveDeadLetters() int
+}
+
 // Config wires a server's dependencies.
 type Config struct {
 	DB         *db.DB
@@ -62,6 +71,9 @@ type Config struct {
 	// behind /api/admin/traces; nil creates one with default capacity.
 	Metrics *metrics.Registry
 	Traces  *trace.Store
+
+	// Queue backs the dead-letter admin endpoints (v2 only; nil = 501).
+	Queue QueueAdmin
 }
 
 // Server is the WebGPU web tier.
@@ -78,6 +90,7 @@ type Server struct {
 	deadlines map[string]time.Time
 	metrics   *metrics.Registry
 	traces    *trace.Store
+	queue     QueueAdmin
 }
 
 // New builds a server.
@@ -111,6 +124,7 @@ func New(cfg Config) *Server {
 		deadlines: map[string]time.Time{},
 		metrics:   cfg.Metrics,
 		traces:    cfg.Traces,
+		queue:     cfg.Queue,
 	}
 	s.limiter.SetClock(cfg.Clock)
 	s.db.CreateIndex("users", "email")
@@ -161,6 +175,8 @@ func (s *Server) routes() {
 	m.HandleFunc("GET /api/admin/metrics", s.instructor(s.handleAdminMetrics))
 	m.HandleFunc("GET /api/admin/traces", s.instructor(s.handleAdminTraces))
 	m.HandleFunc("GET /api/admin/traces/{id}", s.instructor(s.handleAdminTrace))
+	m.HandleFunc("GET /api/admin/deadletters", s.instructor(s.handleAdminDeadLetters))
+	m.HandleFunc("POST /api/admin/deadletters/redrive", s.instructor(s.handleAdminRedrive))
 	m.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})

@@ -1,0 +1,76 @@
+package worker
+
+import "sync"
+
+// DefaultDedupCapacity bounds how many job IDs ResultDedup remembers.
+const DefaultDedupCapacity = 4096
+
+// ResultDedup is the platform-level guard against the at-least-once hole:
+// a worker that crashes after publishing its result but before acking the
+// job leaves the job to redeliver, and the re-execution publishes a second
+// result. Consumers route every result through Accept and count only the
+// first per job ID; later results for the same job are duplicates to drop.
+//
+// Memory is bounded: once capacity job IDs are tracked, the oldest are
+// evicted FIFO. A duplicate arriving after its job ID was evicted slips
+// through, so size the capacity above the number of jobs that can be
+// in flight across redelivery windows (the default is generous for a
+// single course offering's burst).
+type ResultDedup struct {
+	mu       sync.Mutex
+	capacity int
+	seen     map[string]int // job ID -> attempt of the accepted result
+	order    []string       // FIFO eviction queue
+	dups     int64
+}
+
+// NewResultDedup creates a dedup window remembering up to capacity job
+// IDs (<= 0 uses DefaultDedupCapacity).
+func NewResultDedup(capacity int) *ResultDedup {
+	if capacity <= 0 {
+		capacity = DefaultDedupCapacity
+	}
+	return &ResultDedup{capacity: capacity, seen: make(map[string]int)}
+}
+
+// Accept reports whether this is the first result seen for jobID,
+// recording the attempt that produced it. Subsequent calls for the same
+// job return false and count a duplicate.
+func (d *ResultDedup) Accept(jobID string, attempt int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.seen[jobID]; ok {
+		d.dups++
+		return false
+	}
+	for len(d.order) >= d.capacity {
+		delete(d.seen, d.order[0])
+		d.order = d.order[1:]
+	}
+	d.seen[jobID] = attempt
+	d.order = append(d.order, jobID)
+	return true
+}
+
+// AcceptedAttempt returns the attempt of the accepted result for jobID,
+// or 0 and false if none was accepted (or it has been evicted).
+func (d *ResultDedup) AcceptedAttempt(jobID string) (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	a, ok := d.seen[jobID]
+	return a, ok
+}
+
+// Duplicates reports how many results were rejected as duplicates.
+func (d *ResultDedup) Duplicates() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dups
+}
+
+// Len reports how many job IDs are currently tracked.
+func (d *ResultDedup) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.seen)
+}

@@ -50,6 +50,19 @@ type Result struct {
 	ExecDuration time.Duration   `json:"exec_duration,omitempty"`
 	CompletedAt  time.Time       `json:"completed_at"`
 
+	// Attempt is the broker delivery attempt that produced this result
+	// (1-based on the v2 path; 0 on the in-process v1 path). A redelivered
+	// job publishes a second result with a higher attempt — consumers
+	// accept only the first result per job ID and use the attempt to
+	// label the duplicates they drop.
+	Attempt int `json:"attempt,omitempty"`
+
+	// Transient marks an infrastructure failure (worker crash, injected
+	// fault) rather than a verdict on the submission: the job is safe to
+	// retry. The v2 driver nacks transient results instead of publishing
+	// them; the v1 registry retries the dispatch with backoff.
+	Transient bool `json:"transient,omitempty"`
+
 	// TraceID echoes Job.TraceID; Spans carries the worker-side spans
 	// back across a process boundary (the v2 result topic) so the web
 	// tier can merge them into the canonical trace. On the v1 in-process

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"webgpu/internal/faultinject"
 	"webgpu/internal/labs"
 	"webgpu/internal/metrics"
 	"webgpu/internal/minicuda"
@@ -27,6 +28,7 @@ type Node struct {
 	limits  sandbox.Limits
 	metrics *metrics.Registry
 	progs   *progcache.Cache
+	faults  *faultinject.Registry
 
 	// Per-container admission: each pooled container owns its own
 	// simulated device set, so up to cap(sem) jobs execute concurrently —
@@ -60,6 +62,10 @@ type NodeConfig struct {
 	// private one. The platform passes its shared registry so every
 	// node's counters land in one /api/admin/metrics dump.
 	Metrics *metrics.Registry
+
+	// Faults is the fault-injection registry for chaos testing; nil (the
+	// default) makes every fault point a no-op.
+	Faults *faultinject.Registry
 }
 
 // DefaultNodeConfig returns a single-GPU CUDA worker configuration.
@@ -137,6 +143,7 @@ func NewNode(cfg NodeConfig) *Node {
 		limits:  limits,
 		metrics: reg,
 		progs:   progs,
+		faults:  cfg.Faults,
 		sem:     make(chan struct{}, maxConc),
 	}
 }
@@ -300,6 +307,15 @@ func (n *Node) Execute(ctx context.Context, job *Job) *Result {
 		maxSteps = n.limits.MaxSteps
 	}
 
+	// Transient compile-infrastructure failure (chaos testing): the
+	// submission is fine, the worker is not — report it retryable.
+	if ferr := n.faults.Fire(faultinject.PointNodeCompile); ferr != nil {
+		res.Error = ferr.Error()
+		res.Transient = true
+		n.metrics.Inc("jobs_faulted", 1)
+		return res
+	}
+
 	// Compile exactly once per job through the content-addressed program
 	// cache — identical sources across jobs compile once per process.
 	compileStart := time.Now()
@@ -321,6 +337,14 @@ func (n *Node) Execute(ctx context.Context, job *Job) *Result {
 			Attrs: map[string]string{"cache": cacheAttr, "ok": strconv.FormatBool(cerr == nil)}})
 	}
 	n.metrics.ObserveDuration("stage_compile_ms", compileWall)
+
+	// Transient execution-infrastructure failure (chaos testing).
+	if ferr := n.faults.Fire(faultinject.PointNodeExec); ferr != nil {
+		res.Error = ferr.Error()
+		res.Transient = true
+		n.metrics.Inc("jobs_faulted", 1)
+		return res
+	}
 
 	execStart := time.Now()
 	switch {

@@ -3,9 +3,12 @@ package worker
 import (
 	"context"
 	"errors"
+	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
+	"webgpu/internal/faultinject"
 	"webgpu/internal/trace"
 )
 
@@ -21,6 +24,16 @@ var ErrNoWorkers = errors.New("worker: no live worker can serve this job")
 // DefaultHealthTTL is how long a worker may go silent before eviction.
 const DefaultHealthTTL = 30 * time.Second
 
+// v1 has no broker to lean on for redelivery, so the push dispatch itself
+// retries: up to DefaultDispatchRetries extra attempts with exponential
+// backoff starting at DefaultRetryBackoff (plus jitter, capped at
+// maxRetryBackoff per wait).
+const (
+	DefaultDispatchRetries = 3
+	DefaultRetryBackoff    = 2 * time.Millisecond
+	maxRetryBackoff        = 250 * time.Millisecond
+)
+
 // Registry is the web server's view of the v1 worker pool.
 type Registry struct {
 	mu     sync.Mutex
@@ -29,6 +42,11 @@ type Registry struct {
 	nodes  map[string]*registered
 	rrSeq  int
 	evicts int64
+
+	faults       *faultinject.Registry
+	maxRetries   int
+	retryBackoff time.Duration
+	retries      int64 // dispatch attempts beyond the first
 }
 
 type registered struct {
@@ -42,11 +60,46 @@ func NewRegistry(ttl time.Duration) *Registry {
 	if ttl <= 0 {
 		ttl = DefaultHealthTTL
 	}
-	return &Registry{ttl: ttl, clock: time.Now, nodes: map[string]*registered{}}
+	return &Registry{
+		ttl:          ttl,
+		clock:        time.Now,
+		nodes:        map[string]*registered{},
+		maxRetries:   DefaultDispatchRetries,
+		retryBackoff: DefaultRetryBackoff,
+	}
 }
 
 // SetClock overrides the time source (tests).
 func (r *Registry) SetClock(clock func() time.Time) { r.clock = clock }
+
+// SetFaults attaches a fault-injection registry to the push path.
+func (r *Registry) SetFaults(f *faultinject.Registry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.faults = f
+}
+
+// SetRetry reconfigures the dispatch retry budget: up to max extra
+// attempts, waiting base·2^(n−1) plus jitter before attempt n. A negative
+// max disables retries; a zero base keeps the default.
+func (r *Registry) SetRetry(max int, base time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if max < 0 {
+		max = 0
+	}
+	r.maxRetries = max
+	if base > 0 {
+		r.retryBackoff = base
+	}
+}
+
+// Retries reports how many dispatch attempts beyond the first were made.
+func (r *Registry) Retries() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.retries
+}
 
 // Register adds a worker to the pool (its registration counts as a beat).
 func (r *Registry) Register(n *Node) {
@@ -141,11 +194,46 @@ func (r *Registry) StartHeartbeats(interval time.Duration) (stop func()) {
 // carries the job's trace (the node writes spans straight into it) and
 // cancellation: a job cancelled mid-flight returns its partial result
 // alongside ctx's error.
+//
+// Unlike v2, there is no broker to redeliver a failed job, so Dispatch
+// retries transient failures itself — an empty pool, a failed push, a
+// worker reporting an infrastructure fault — with exponential backoff and
+// jitter before giving up. The give-up error wraps the last failure, so
+// errors.Is(err, ErrNoWorkers) still identifies a pool that stayed empty.
 func (r *Registry) Dispatch(ctx context.Context, job *Job) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	r.mu.Lock()
+	maxRetries, base := r.maxRetries, r.retryBackoff
+	r.mu.Unlock()
+
+	var lastRes *Result
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		res, err, retryable := r.dispatchOnce(ctx, job)
+		if !retryable {
+			return res, err
+		}
+		lastRes, lastErr = res, err
+		if attempt > maxRetries {
+			return lastRes, fmt.Errorf("worker: dispatch gave up after %d attempts: %w", attempt, lastErr)
+		}
+		r.mu.Lock()
+		r.retries++
+		r.mu.Unlock()
+		if !sleepCtx(ctx, retryDelay(base, attempt)) {
+			return lastRes, ctx.Err()
+		}
+	}
+}
+
+// dispatchOnce makes a single push attempt. retryable reports whether the
+// failure is transient (empty pool, injected push fault, worker-side
+// infrastructure failure) rather than a final outcome.
+func (r *Registry) dispatchOnce(ctx context.Context, job *Job) (res *Result, err error, retryable bool) {
+	r.mu.Lock()
+	faults := r.faults
 	now := r.clock()
 	r.evictStaleLocked(now)
 	var pick *registered
@@ -159,13 +247,23 @@ func (r *Registry) Dispatch(ctx context.Context, job *Job) (*Result, error) {
 	}
 	if pick == nil {
 		r.mu.Unlock()
-		return nil, ErrNoWorkers
+		return nil, ErrNoWorkers, true
 	}
 	pick.inflight++
 	r.mu.Unlock()
 
+	release := func() {
+		r.mu.Lock()
+		pick.inflight--
+		r.mu.Unlock()
+	}
+	if ferr := faults.Fire(faultinject.PointV1Push); ferr != nil {
+		release()
+		return nil, fmt.Errorf("worker: push to %s failed: %w", pick.node.ID, ferr), true
+	}
+
 	dispatchStart := time.Now()
-	res := pick.node.Execute(ctx, job)
+	res = pick.node.Execute(ctx, job)
 
 	// The push path reports queue wait too, so Figure 2 comparisons no
 	// longer under-report v1 latency: everything between dispatch and the
@@ -179,11 +277,34 @@ func (r *Registry) Dispatch(ctx context.Context, job *Job) (*Result, error) {
 			Attrs: map[string]string{"worker": res.WorkerID, "arch": "v1"}})
 	}
 
-	r.mu.Lock()
-	pick.inflight--
-	r.mu.Unlock()
+	release()
 	if res.Canceled && ctx.Err() != nil {
-		return res, ctx.Err()
+		return res, ctx.Err(), false
 	}
-	return res, nil
+	if res.Transient {
+		return res, fmt.Errorf("worker: transient failure on %s: %s", res.WorkerID, res.Error), true
+	}
+	return res, nil, false
+}
+
+// retryDelay returns base·2^(attempt−1) capped at maxRetryBackoff, plus up
+// to 50% jitter so synchronized retries fan out.
+func retryDelay(base time.Duration, attempt int) time.Duration {
+	d := base << uint(attempt-1)
+	if d <= 0 || d > maxRetryBackoff {
+		d = maxRetryBackoff
+	}
+	return d + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// sleepCtx waits d, returning false if ctx expires first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
 }

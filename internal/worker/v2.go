@@ -2,11 +2,14 @@ package worker
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"webgpu/internal/faultinject"
 	"webgpu/internal/queue"
 	"webgpu/internal/trace"
 )
@@ -75,14 +78,18 @@ func (cs *ConfigServer) Update(cfg Config) int64 {
 type Driver struct {
 	node    *Node
 	broker  *queue.Broker
+	standby *queue.Broker // mirror to fail over to when the primary closes
+	faults  *faultinject.Registry
 	cfgSrv  *ConfigServer
 	stopCh  chan struct{}
 	doneCh  chan struct{}
 	started atomic.Bool
 
-	jobsDone atomic.Int64
-	restarts atomic.Int64
-	cfgVer   atomic.Int64
+	jobsDone  atomic.Int64
+	restarts  atomic.Int64
+	crashes   atomic.Int64 // injected mid-job crashes (abandoned leases)
+	failovers atomic.Int64
+	cfgVer    atomic.Int64
 }
 
 // NewDriver wires a node to a broker and configuration service.
@@ -95,6 +102,16 @@ func NewDriver(node *Node, broker *queue.Broker, cfgSrv *ConfigServer) *Driver {
 		doneCh: make(chan struct{}),
 	}
 }
+
+// SetStandby attaches the mirror broker: when the primary reports closed,
+// the driver switches its polling (and result publishing) to the standby
+// instead of exiting — the §VI-A availability-zone failover. Must be
+// called before Start.
+func (d *Driver) SetStandby(standby *queue.Broker) { d.standby = standby }
+
+// SetFaults attaches a fault-injection registry to the driver's own fault
+// points (crashes around publish/ack). Must be called before Start.
+func (d *Driver) SetFaults(r *faultinject.Registry) { d.faults = r }
 
 // Start launches the polling loop. The initial configuration is fetched
 // synchronously so a later Update is always observed as a change.
@@ -126,9 +143,17 @@ func (d *Driver) JobsDone() int64 { return d.jobsDone.Load() }
 // Restarts reports how many times a config change restarted the driver.
 func (d *Driver) Restarts() int64 { return d.restarts.Load() }
 
+// Crashes reports how many injected crashes abandoned a leased job.
+func (d *Driver) Crashes() int64 { return d.crashes.Load() }
+
+// Failovers reports how many times the driver switched to the standby
+// broker after the primary closed.
+func (d *Driver) Failovers() int64 { return d.failovers.Load() }
+
 func (d *Driver) loop(cfg Config) {
 	defer close(d.doneCh)
 	caps := d.node.Capabilities()
+	broker := d.broker
 	for {
 		select {
 		case <-d.stopCh:
@@ -148,9 +173,26 @@ func (d *Driver) loop(cfg Config) {
 			}
 			continue
 		}
-		delivery, ok, err := d.broker.Poll(TopicJobs, d.node.ID, caps, cfg.Visibility)
+		delivery, ok, err := broker.Poll(TopicJobs, d.node.ID, caps, cfg.Visibility)
 		if err != nil {
-			return // broker closed
+			if errors.Is(err, queue.ErrClosed) {
+				// Primary gone: fail over to the mirrored standby, which
+				// holds a copy of every publish (§VI-A). Without one, the
+				// driver has nothing left to poll and exits.
+				if d.standby != nil && broker != d.standby {
+					broker = d.standby
+					d.failovers.Add(1)
+					d.node.Metrics().Inc("driver_failovers", 1)
+					continue
+				}
+				return
+			}
+			// Transient poll failure (network blip, injected fault): back
+			// off one interval and retry rather than dying.
+			if !sleepOrStop(d.stopCh, cfg.PollInterval) {
+				return
+			}
+			continue
 		}
 		if !ok {
 			if !sleepOrStop(d.stopCh, cfg.PollInterval) {
@@ -186,13 +228,48 @@ func (d *Driver) loop(cfg Config) {
 		}
 		res := d.node.Execute(ctx, job)
 		res.QueueWait += brokerWait
+		res.Attempt = delivery.Msg.Attempts
 		if tr != nil {
 			res.Spans = tr.Spans()
 		}
-		if _, err := d.broker.Publish(TopicResults, EncodeResult(res)); err != nil {
+		if res.Transient {
+			// Infrastructure failure, not a verdict on the submission:
+			// nack so a later attempt (possibly elsewhere) retries; the
+			// broker dead-letters it after too many attempts.
+			_ = delivery.Nack()
+			d.node.Metrics().Inc("driver_transient_nacks", 1)
+			continue
+		}
+		if d.faults.Fire(faultinject.PointDriverCrashBeforeAck) != nil {
+			// Simulated crash with the result still local: the lease
+			// expires unacked and the job is redelivered elsewhere.
+			d.crashes.Add(1)
+			continue
+		}
+		// The attempt rides the result message as a meta tag (and the
+		// Result itself) so consumers can dedup a redelivered job's
+		// second result.
+		tags := []string{queue.MetaAttempt(res.Attempt)}
+		if traceID != "" {
+			tags = append(tags, queue.MetaTrace(traceID))
+		}
+		if err := d.faults.Fire(faultinject.PointDriverPublishResult); err != nil {
 			_ = delivery.Nack()
 			continue
 		}
+		if _, err := broker.Publish(TopicResults, EncodeResult(res), tags...); err != nil {
+			_ = delivery.Nack()
+			continue
+		}
+		if d.faults.Fire(faultinject.PointDriverCrashAfterPublish) != nil {
+			// Simulated crash after the result publish but before the ack:
+			// the job redelivers and a duplicate result will be published —
+			// exactly the at-least-once hole result dedup exists to close.
+			d.crashes.Add(1)
+			continue
+		}
+		// A failed ack leaves the lease to expire; at-least-once delivery
+		// turns that into a redelivery plus a duplicate result downstream.
 		_ = delivery.Ack()
 		d.jobsDone.Add(1)
 		d.node.Metrics().Inc("driver_jobs", 1)
@@ -213,6 +290,8 @@ func sleepOrStop(stop <-chan struct{}, d time.Duration) bool {
 type Fleet struct {
 	mu      sync.Mutex
 	broker  *queue.Broker
+	standby *queue.Broker
+	faults  *faultinject.Registry
 	cfgSrv  *ConfigServer
 	nextID  int
 	drivers map[string]*Driver
@@ -228,6 +307,22 @@ func NewFleet(broker *queue.Broker, cfgSrv *ConfigServer, mkNode func(id string)
 	return &Fleet{broker: broker, cfgSrv: cfgSrv, drivers: map[string]*Driver{}, mkNode: mkNode}
 }
 
+// SetStandby attaches the mirror broker every driver fails over to when
+// the primary closes. Applies to drivers started by later Scale calls.
+func (f *Fleet) SetStandby(standby *queue.Broker) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.standby = standby
+}
+
+// SetFaults attaches a fault-injection registry to drivers started by
+// later Scale calls.
+func (f *Fleet) SetFaults(r *faultinject.Registry) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.faults = r
+}
+
 // Scale adjusts the fleet to n workers, starting or stopping drivers.
 func (f *Fleet) Scale(n int) {
 	f.mu.Lock()
@@ -236,6 +331,8 @@ func (f *Fleet) Scale(n int) {
 		f.nextID++
 		id := nodeID(f.nextID)
 		d := NewDriver(f.mkNode(id), f.broker, f.cfgSrv)
+		d.SetStandby(f.standby)
+		d.SetFaults(f.faults)
 		f.drivers[id] = d
 		d.Start()
 	}
@@ -249,7 +346,10 @@ func (f *Fleet) Scale(n int) {
 }
 
 func nodeID(n int) string {
-	return "worker-" + string(rune('0'+n/100%10)) + string(rune('0'+n/10%10)) + string(rune('0'+n%10))
+	// %03d, not per-digit rune arithmetic: the old encoding produced
+	// garbage IDs ("worker-:00") once a long-lived fleet's counter
+	// passed 999.
+	return fmt.Sprintf("worker-%03d", n)
 }
 
 // Size reports the current fleet size.
