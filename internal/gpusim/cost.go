@@ -36,67 +36,105 @@ type sEvent struct {
 	word int32
 }
 
-type gKey struct {
-	warp  int32
-	seq   int32
+type gSeg struct {
 	alloc uint64
 	seg   int32
 }
 
-type sKey struct {
-	warp int32
-	seq  int32
-}
-
 // aggregateCost merges the per-thread event logs of one block into
-// transaction counts.
+// transaction counts. The tuple spaces are partitioned by (warp, seq), so
+// distinct counts are accumulated warp by warp, access slot by access
+// slot, with small reused slices instead of maps: a warp holds at most 32
+// threads, so linear-scan dedup beats hashing and allocates nothing.
 func aggregateCost(ctxs []*ThreadCtx, warpSize int) (globalTx, sharedTx int64) {
-	// Global: count distinct (warp, seq, alloc, segment) tuples.
-	gSeen := make(map[gKey]struct{}, 64)
-	for _, tc := range ctxs {
-		warp := int32(tc.warp)
-		for seq, ev := range tc.gEvents {
-			for s := ev.segLo; s <= ev.segHi; s++ {
-				gSeen[gKey{warp: warp, seq: int32(seq), alloc: ev.alloc, seg: s}] = struct{}{}
-			}
-		}
-	}
-	globalTx = int64(len(gSeen))
+	// ctxs is ordered by flattened thread index and runBlock assigns
+	// tc.warp = t/warpSize, so each warp is a contiguous run of ctxs —
+	// slice it directly instead of regrouping into per-warp slices.
 
-	// Shared: for each (warp, seq) find the max number of distinct words
-	// mapped to the same bank (the conflict degree; a broadcast of one
-	// word costs 1).
-	type bankWords struct {
-		words [numBanks]map[int32]struct{}
-	}
-	sAcc := make(map[sKey]*bankWords, 16)
-	for _, tc := range ctxs {
-		warp := int32(tc.warp)
-		for seq, ev := range tc.sEvents {
-			k := sKey{warp: warp, seq: int32(seq)}
-			bw, ok := sAcc[k]
-			if !ok {
-				bw = &bankWords{}
-				sAcc[k] = bw
-			}
-			bank := ev.word % numBanks
-			if bank < 0 {
-				bank += numBanks
-			}
-			if bw.words[bank] == nil {
-				bw.words[bank] = make(map[int32]struct{}, 1)
-			}
-			bw.words[bank][ev.word] = struct{}{}
+	// Global: count distinct (warp, seq, alloc, segment) tuples — i.e. for
+	// each warp's k-th access slot, the distinct (alloc, segment) pairs.
+	var segBuf [64]gSeg
+	segs := segBuf[:0]
+	// Shared: for each (warp, seq), the max number of distinct words mapped
+	// to the same bank (the conflict degree; a broadcast of one word costs 1).
+	var wordBuf [numBanks]int32
+	words := wordBuf[:0]
+
+	for base := 0; base < len(ctxs); base += warpSize {
+		end := base + warpSize
+		if end > len(ctxs) {
+			end = len(ctxs)
 		}
-	}
-	for _, bw := range sAcc {
-		degree := 1
-		for _, words := range bw.words {
-			if len(words) > degree {
-				degree = len(words)
+		wts := ctxs[base:end]
+		maxG, maxS := 0, 0
+		for _, tc := range wts {
+			if len(tc.gEvents) > maxG {
+				maxG = len(tc.gEvents)
+			}
+			if len(tc.sEvents) > maxS {
+				maxS = len(tc.sEvents)
 			}
 		}
-		sharedTx += int64(degree)
+		for seq := 0; seq < maxG; seq++ {
+			segs = segs[:0]
+			for _, tc := range wts {
+				if seq >= len(tc.gEvents) {
+					continue
+				}
+				ev := tc.gEvents[seq]
+				for s := ev.segLo; s <= ev.segHi; s++ {
+					key := gSeg{alloc: ev.alloc, seg: s}
+					seen := false
+					for _, e := range segs {
+						if e == key {
+							seen = true
+							break
+						}
+					}
+					if !seen {
+						segs = append(segs, key)
+					}
+				}
+			}
+			globalTx += int64(len(segs))
+		}
+		for seq := 0; seq < maxS; seq++ {
+			words = words[:0]
+			any := false
+			for _, tc := range wts {
+				if seq >= len(tc.sEvents) {
+					continue
+				}
+				any = true
+				w := tc.sEvents[seq].word
+				seen := false
+				for _, x := range words {
+					if x == w {
+						seen = true
+						break
+					}
+				}
+				if !seen {
+					words = append(words, w)
+				}
+			}
+			if !any {
+				continue
+			}
+			var perBank [numBanks]int
+			degree := 1
+			for _, w := range words {
+				bank := w % numBanks
+				if bank < 0 {
+					bank += numBanks
+				}
+				perBank[bank]++
+				if perBank[bank] > degree {
+					degree = perBank[bank]
+				}
+			}
+			sharedTx += int64(degree)
+		}
 	}
 	return globalTx, sharedTx
 }

@@ -151,6 +151,12 @@ func (bc *blockCtx) barrier() error {
 
 // threadExit removes a finished thread from the barrier's participant set.
 func (bc *blockCtx) threadExit() {
+	if bc.serial {
+		// Serial blocks run on one goroutine and reject barriers, so there
+		// is nothing to wake and no lock to take.
+		bc.participants--
+		return
+	}
 	bc.mu.Lock()
 	bc.participants--
 	if bc.arrived > 0 {
@@ -187,7 +193,43 @@ type ThreadCtx struct {
 	stats   threadStats
 	gEvents []gEvent // per-thread global-access log, indexed by access ordinal
 	sEvents []sEvent // per-thread shared-access log
+
+	cache *allocCache
 }
+
+// allocCacheSize is the number of allocations an access cache holds; course
+// kernels touch at most a handful of distinct buffers.
+const allocCacheSize = 4
+
+// allocCache is a small direct cache of allocation backing stores: kernels
+// overwhelmingly hammer the same few buffers, so remembering them skips the
+// device mutex and map lookup on the hot path. alloc ids are never reused
+// within a device, so a hit cannot alias a freed buffer. On the serial
+// (barrier-free) block path one cache is shared by the whole block; on the
+// concurrent path each thread owns one.
+type allocCache struct {
+	ids  [allocCacheSize]uint64
+	data [allocCacheSize][]byte
+	next int
+}
+
+// blockScratch holds the working arrays of one block run, recycled across
+// blocks and launches through scratchPool: the ThreadCtx backing array
+// dominates a launch's allocation volume, and blocks are short-lived, so
+// reuse keeps the GC off the hot path. State-carrying arrays (ctxs,
+// backing, caches) are cleared before reuse — caches in particular must
+// not survive, since allocation ids are only unique within one device.
+// The event slabs are reused as-is: carved logs start at length zero, so
+// stale events are never observed.
+type blockScratch struct {
+	ctxs    []*ThreadCtx
+	backing []ThreadCtx
+	caches  []allocCache
+	slabG   []gEvent
+	slabS   []sEvent
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(blockScratch) }}
 
 // threadStats counts the work performed by one thread.
 type threadStats struct {
@@ -244,10 +286,34 @@ func (tc *ThreadCtx) Aborted() bool { return tc.block.aborted.Load() }
 // --- Global memory access ------------------------------------------------
 
 func (tc *ThreadCtx) globalAccess(p Ptr, size int, store bool) ([]byte, error) {
-	v, err := tc.Dev.view(p, size)
-	if err != nil {
-		return nil, err
+	var data []byte
+	ac := tc.cache
+	if ac != nil {
+		for i, id := range ac.ids {
+			if id == p.alloc {
+				data = ac.data[i]
+				break
+			}
+		}
 	}
+	if data == nil {
+		a, err := tc.Dev.lookup(p)
+		if err != nil {
+			return nil, err
+		}
+		data = a.data
+		if ac != nil {
+			slot := ac.next
+			ac.ids[slot] = p.alloc
+			ac.data[slot] = data
+			ac.next = (slot + 1) % allocCacheSize
+		}
+	}
+	if p.Off < 0 || size < 0 || p.Off+size > len(data) {
+		return nil, fmt.Errorf("%w: offset %d size %d in allocation of %d bytes",
+			ErrIllegalAccess, p.Off, size, len(data))
+	}
+	v := data[p.Off : p.Off+size]
 	if store {
 		tc.stats.gStores++
 	} else {
@@ -544,7 +610,17 @@ func (d *Device) runBlock(bc *blockCtx, cfg LaunchConfig, k KernelFunc, aborted 
 	}
 	bc.serial = cfg.NoBarriers
 
-	ctxs := make([]*ThreadCtx, threads)
+	scr := scratchPool.Get().(*blockScratch)
+	if cap(scr.ctxs) < threads {
+		scr.ctxs = make([]*ThreadCtx, threads)
+	}
+	if cap(scr.backing) < threads {
+		scr.backing = make([]ThreadCtx, threads)
+	}
+	ctxs := scr.ctxs[:threads]
+	backing := scr.backing[:threads]
+	clear(ctxs)
+	clear(backing)
 	runThread := func(tc *ThreadCtx) {
 		defer bc.threadExit()
 		defer func() {
@@ -564,42 +640,96 @@ func (d *Device) runBlock(bc *blockCtx, cfg LaunchConfig, k KernelFunc, aborted 
 		// Barrier-free kernels: run the block's threads sequentially on
 		// this goroutine. Results are identical because threads cannot
 		// interact except through atomics, which remain atomic.
+		hintG, hintS := 0, 0
+		var slabG []gEvent // event logs for threads 1..n-1, carved per thread
+		var slabS []sEvent
+		// Pooled slabs may each be handed out at most once per block, or a
+		// second draw would alias carves already in use by earlier threads.
+		slabGBuf, slabSBuf := scr.slabG, scr.slabS
+		var ac allocCache // one goroutine runs the whole block: share the cache
 		for t := 0; t < threads; t++ {
 			if aborted.Load() {
 				break
 			}
-			tc := &ThreadCtx{
-				Dev:       d,
-				ThreadIdx: unflatten(t, cfg.Block),
-				BlockIdx:  bc.blockIdx,
-				BlockDim:  cfg.Block,
-				GridDim:   cfg.Grid,
-				block:     bc,
-				warp:      t / warpSize,
+			// backing[t] is freshly zeroed; set only the non-zero fields.
+			tc := &backing[t]
+			tc.Dev = d
+			tc.ThreadIdx = unflatten(t, cfg.Block)
+			tc.BlockIdx = bc.blockIdx
+			tc.BlockDim = cfg.Block
+			tc.GridDim = cfg.Grid
+			tc.block = bc
+			tc.warp = t / warpSize
+			tc.cache = &ac
+			// Threads in a block usually perform the same accesses, so the
+			// first thread's event counts size the logs of the rest, carved
+			// out of one block-wide slab. A thread that overflows its carve
+			// reallocates on append, leaving the slab untouched.
+			if hintG > 0 {
+				if len(slabG) < hintG {
+					need := hintG * (threads - t)
+					if cap(slabGBuf) >= need {
+						slabG = slabGBuf[:need]
+					} else {
+						slabG = make([]gEvent, need)
+						scr.slabG = slabG // keep the fresh slab for reuse
+					}
+					slabGBuf = nil
+				}
+				tc.gEvents = slabG[0:0:hintG]
+				slabG = slabG[hintG:]
+			}
+			if hintS > 0 {
+				if len(slabS) < hintS {
+					need := hintS * (threads - t)
+					if cap(slabSBuf) >= need {
+						slabS = slabSBuf[:need]
+					} else {
+						slabS = make([]sEvent, need)
+						scr.slabS = slabS
+					}
+					slabSBuf = nil
+				}
+				tc.sEvents = slabS[0:0:hintS]
+				slabS = slabS[hintS:]
 			}
 			ctxs[t] = tc
 			runThread(tc)
+			if t == 0 {
+				hintG, hintS = len(tc.gEvents), len(tc.sEvents)
+			}
 		}
 		// Unstarted threads contribute empty stats.
 		for t := range ctxs {
 			if ctxs[t] == nil {
-				ctxs[t] = &ThreadCtx{Dev: d, block: bc, warp: t / warpSize}
+				tc := &backing[t]
+				tc.Dev = d
+				tc.block = bc
+				tc.warp = t / warpSize
+				ctxs[t] = tc
 			}
 		}
-		return d.collectBlock(bc, ctxs, warpSize)
+		res := d.collectBlock(bc, ctxs, warpSize)
+		scratchPool.Put(scr)
+		return res
 	}
 
 	var wg sync.WaitGroup
+	if cap(scr.caches) < threads {
+		scr.caches = make([]allocCache, threads)
+	}
+	caches := scr.caches[:threads]
+	clear(caches)
 	for t := 0; t < threads; t++ {
-		tc := &ThreadCtx{
-			Dev:       d,
-			ThreadIdx: unflatten(t, cfg.Block),
-			BlockIdx:  bc.blockIdx,
-			BlockDim:  cfg.Block,
-			GridDim:   cfg.Grid,
-			block:     bc,
-			warp:      t / warpSize,
-		}
+		tc := &backing[t]
+		tc.Dev = d
+		tc.ThreadIdx = unflatten(t, cfg.Block)
+		tc.BlockIdx = bc.blockIdx
+		tc.BlockDim = cfg.Block
+		tc.GridDim = cfg.Grid
+		tc.block = bc
+		tc.warp = t / warpSize
+		tc.cache = &caches[t]
 		ctxs[t] = tc
 		wg.Add(1)
 		go func(tc *ThreadCtx) {
@@ -608,7 +738,9 @@ func (d *Device) runBlock(bc *blockCtx, cfg LaunchConfig, k KernelFunc, aborted 
 		}(tc)
 	}
 	wg.Wait()
-	return d.collectBlock(bc, ctxs, warpSize)
+	res := d.collectBlock(bc, ctxs, warpSize)
+	scratchPool.Put(scr)
+	return res
 }
 
 // collectBlock aggregates per-thread statistics into the block result.

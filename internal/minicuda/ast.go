@@ -4,6 +4,11 @@ package minicuda
 // annotates them in place (resolved symbols, slot indices, computed
 // types); the interpreter walks them directly.
 
+import (
+	"sync"
+	"unsafe"
+)
+
 // Node is the common interface of AST nodes, carrying a source token for
 // diagnostics.
 type Node interface {
@@ -26,22 +31,26 @@ type exprBase struct {
 func (e *exprBase) Tok() Token        { return e.tok }
 func (e *exprBase) ResultType() *Type { return e.typ }
 
-// IntLit is an integer literal.
+// IntLit is an integer literal. val is the boxed runtime value, computed
+// once by sema so the interpreter's hot path returns it without re-boxing.
 type IntLit struct {
 	exprBase
 	Val int64
+	val Value
 }
 
 // FloatLit is a floating literal.
 type FloatLit struct {
 	exprBase
 	Val float64
+	val Value
 }
 
 // BoolLit is true/false.
 type BoolLit struct {
 	exprBase
 	Val bool
+	val Value
 }
 
 // VarRef is a resolved reference to a declared name.
@@ -52,12 +61,23 @@ type VarRef struct {
 }
 
 // BuiltinVarRef is threadIdx/blockIdx/blockDim/gridDim member access, e.g.
-// threadIdx.x. Dim is 0, 1, or 2 for .x, .y, .z.
+// threadIdx.x. Dim is 0, 1, or 2 for .x, .y, .z. baseID is the Base string
+// resolved to a small index by sema so the interpreter's hot path avoids
+// string comparison.
 type BuiltinVarRef struct {
 	exprBase
-	Base string // "threadIdx", ...
-	Dim  int
+	Base   string // "threadIdx", ...
+	Dim    int
+	baseID uint8
 }
+
+// Base indices for BuiltinVarRef.baseID.
+const (
+	baseThreadIdx uint8 = iota
+	baseBlockIdx
+	baseBlockDim
+	baseGridDim
+)
 
 // Unary is a prefix unary operation: + - ! ~ * (deref) & (addr) ++ --.
 type Unary struct {
@@ -254,6 +274,47 @@ type Program struct {
 	constVars   map[string]*Symbol
 	constSize   int
 	usesBarrier bool
+
+	// Lowered bytecode artifact (nil when some construct could not be
+	// lowered and launches fall back to the tree-walking interpreter).
+	bcOnce sync.Once
+	bc     *bytecodeProgram
+}
+
+// bytecode returns the program's lowered bytecode artifact, building it on
+// first use. A nil result means the tree-walking interpreter is used.
+func (p *Program) bytecode() *bytecodeProgram {
+	p.bcOnce.Do(func() {
+		p.bc, _ = lowerProgram(p)
+	})
+	return p.bc
+}
+
+// ArtifactKind reports which executable artifact a default launch of this
+// program uses: "bytecode" for the register VM, "ast" for the tree walker.
+func (p *Program) ArtifactKind() string {
+	if defaultEngine() != EngineTree && p.bytecode() != nil {
+		return "bytecode"
+	}
+	return "ast"
+}
+
+// InstructionCount reports the number of VM instructions in the lowered
+// bytecode, or 0 when the program has no bytecode artifact.
+func (p *Program) InstructionCount() int {
+	if bc := p.bytecode(); bc != nil {
+		return len(bc.code)
+	}
+	return 0
+}
+
+// BytecodeBytes estimates the in-memory size of the bytecode artifact.
+func (p *Program) BytecodeBytes() int {
+	bc := p.bytecode()
+	if bc == nil {
+		return 0
+	}
+	return len(bc.code) * int(unsafe.Sizeof(instr{}))
 }
 
 // UsesBarrier reports whether any function in the program calls

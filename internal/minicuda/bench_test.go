@@ -113,6 +113,36 @@ func BenchmarkInterpretVecAdd4K(b *testing.B) {
 	}
 }
 
+// BenchmarkBytecodeVsTreeMatMul runs the same tiled matrix multiply under
+// the register VM and the tree-walking interpreter, side by side.
+func BenchmarkBytecodeVsTreeMatMul(b *testing.B) {
+	prog, err := Compile(benchSrc, DialectCUDA)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, sub := range []struct {
+		name string
+		eng  Engine
+	}{{"vm", EngineVM}, {"tree", EngineTree}} {
+		b.Run(sub.name, func(b *testing.B) {
+			d := gpusim.NewDefaultDevice()
+			n := 32
+			a, _ := d.Malloc(n * n * 4)
+			bb, _ := d.Malloc(n * n * 4)
+			c, _ := d.Malloc(n * n * 4)
+			opts := LaunchOpts{Grid: gpusim.D2(n/16, n/16), Block: gpusim.D2(16, 16), Engine: sub.eng}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := prog.Launch(d, "matrixMultiplyShared", opts,
+					FloatPtr(a), FloatPtr(bb), FloatPtr(c),
+					Int(n), Int(n), Int(n)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkTranslateOpenACC(b *testing.B) {
 	src := `
 void vecadd(float *a, float *b, float *c, int n) {

@@ -319,27 +319,28 @@ func (th *thread) execDecl(fr []Value, d *VarDecl) error {
 
 // ---- Memory -----------------------------------------------------------------
 
-// loadMem loads the scalar of type t at pointer p.
-func (th *thread) loadMem(p Pointer, t *Type) (Value, error) {
+// loadMem loads the scalar of type t at pointer p. It is shared by the
+// tree-walking interpreter and the register VM.
+func loadMem(tc *gpusim.ThreadCtx, p Pointer, t *Type) (Value, error) {
 	size := t.Size()
 	switch p.Space {
 	case SpaceGlobal:
 		switch size {
 		case 4:
 			if t.Kind == KFloat {
-				f, err := th.tc.LoadFloat32(p.Glob, 0)
+				f, err := tc.LoadFloat32(p.Glob, 0)
 				if err != nil {
 					return Value{}, err
 				}
 				return Value{T: t, F: float64(f)}, nil
 			}
-			i, err := th.tc.LoadInt32(p.Glob, 0)
+			i, err := tc.LoadInt32(p.Glob, 0)
 			if err != nil {
 				return Value{}, err
 			}
 			return intValue(t, int64(i)), nil
 		case 1:
-			b, err := th.tc.LoadByte(p.Glob, 0)
+			b, err := tc.LoadByte(p.Glob, 0)
 			if err != nil {
 				return Value{}, err
 			}
@@ -347,26 +348,26 @@ func (th *thread) loadMem(p Pointer, t *Type) (Value, error) {
 		}
 	case SpaceShared:
 		if t.Kind == KFloat {
-			f, err := th.tc.SharedLoadFloat32(p.Off / 4)
+			f, err := tc.SharedLoadFloat32(p.Off / 4)
 			if err != nil {
 				return Value{}, err
 			}
 			return Value{T: t, F: float64(f)}, nil
 		}
-		i, err := th.tc.SharedLoadInt32(p.Off / 4)
+		i, err := tc.SharedLoadInt32(p.Off / 4)
 		if err != nil {
 			return Value{}, err
 		}
 		return intValue(t, int64(i)), nil
 	case SpaceConst:
 		if t.Kind == KFloat {
-			f, err := th.tc.ConstLoadFloat32(p.Off / 4)
+			f, err := tc.ConstLoadFloat32(p.Off / 4)
 			if err != nil {
 				return Value{}, err
 			}
 			return Value{T: t, F: float64(f)}, nil
 		}
-		i, err := th.tc.ConstLoadInt32(p.Off / 4)
+		i, err := tc.ConstLoadInt32(p.Off / 4)
 		if err != nil {
 			return Value{}, err
 		}
@@ -385,25 +386,26 @@ func (th *thread) loadMem(p Pointer, t *Type) (Value, error) {
 		ErrBadAddress, size, p.Space)
 }
 
-// storeMem stores scalar v (already converted to t) at pointer p.
-func (th *thread) storeMem(p Pointer, t *Type, v Value) error {
+// storeMem stores scalar v (already converted to t) at pointer p. It is
+// shared by the tree-walking interpreter and the register VM.
+func storeMem(tc *gpusim.ThreadCtx, p Pointer, t *Type, v Value) error {
 	size := t.Size()
 	switch p.Space {
 	case SpaceGlobal:
 		switch size {
 		case 4:
 			if t.Kind == KFloat {
-				return th.tc.StoreFloat32(p.Glob, 0, float32(v.F))
+				return tc.StoreFloat32(p.Glob, 0, float32(v.F))
 			}
-			return th.tc.StoreInt32(p.Glob, 0, int32(v.I))
+			return tc.StoreInt32(p.Glob, 0, int32(v.I))
 		case 1:
-			return th.tc.StoreByte(p.Glob, 0, byte(v.I))
+			return tc.StoreByte(p.Glob, 0, byte(v.I))
 		}
 	case SpaceShared:
 		if t.Kind == KFloat {
-			return th.tc.SharedStoreFloat32(p.Off/4, float32(v.F))
+			return tc.SharedStoreFloat32(p.Off/4, float32(v.F))
 		}
-		return th.tc.SharedStoreInt32(p.Off/4, int32(v.I))
+		return tc.SharedStoreInt32(p.Off/4, int32(v.I))
 	case SpaceConst:
 		return fmt.Errorf("%w: constant memory is read-only", gpusim.ErrIllegalAccess)
 	case SpaceLocal:
@@ -521,7 +523,7 @@ func (th *thread) loadLvalue(fr []Value, lv lvalue, t *Type) (Value, error) {
 	if lv.isSlot {
 		return fr[lv.slot], nil
 	}
-	return th.loadMem(lv.ptr, t)
+	return loadMem(th.tc, lv.ptr, t)
 }
 
 func (th *thread) storeLvalue(fr []Value, lv lvalue, t *Type, v Value) error {
@@ -530,7 +532,7 @@ func (th *thread) storeLvalue(fr []Value, lv lvalue, t *Type, v Value) error {
 		fr[lv.slot] = cv
 		return nil
 	}
-	return th.storeMem(lv.ptr, t, cv)
+	return storeMem(th.tc, lv.ptr, t, cv)
 }
 
 // ---- Expression evaluation ---------------------------------------------------
@@ -541,14 +543,11 @@ func (th *thread) eval(fr []Value, e Expr) (Value, error) {
 	}
 	switch x := e.(type) {
 	case *IntLit:
-		return intValue(x.ResultType(), x.Val), nil
+		return x.val, nil
 	case *FloatLit:
-		return floatValue(x.Val), nil
+		return x.val, nil
 	case *BoolLit:
-		if x.Val {
-			return intValue(TypeBool, 1), nil
-		}
-		return intValue(TypeBool, 0), nil
+		return x.val, nil
 	case *VarRef:
 		sym := x.Sym
 		switch sym.Kind {
@@ -558,15 +557,15 @@ func (th *thread) eval(fr []Value, e Expr) (Value, error) {
 			if sym.Type.Kind == KArray {
 				return ptrValue(sym.Type, Pointer{Space: SpaceShared, Elem: sym.Type, Off: sym.Off}), nil
 			}
-			return th.loadMem(Pointer{Space: SpaceShared, Off: sym.Off}, sym.Type)
+			return loadMem(th.tc, Pointer{Space: SpaceShared, Off: sym.Off}, sym.Type)
 		case SymConst:
 			if sym.Type.Kind == KArray {
 				return ptrValue(sym.Type, Pointer{Space: SpaceConst, Elem: sym.Type, Off: sym.Off}), nil
 			}
-			return th.loadMem(Pointer{Space: SpaceConst, Off: sym.Off}, sym.Type)
+			return loadMem(th.tc, Pointer{Space: SpaceConst, Off: sym.Off}, sym.Type)
 		}
 	case *BuiltinVarRef:
-		return intValue(TypeInt, int64(th.builtinDim(x.Base, x.Dim))), nil
+		return intValue(TypeInt, int64(th.builtinDim(x.baseID, x.Dim))), nil
 	case *Unary:
 		return th.evalUnary(fr, x)
 	case *Postfix:
@@ -634,7 +633,7 @@ func (th *thread) eval(fr []Value, e Expr) (Value, error) {
 		if err != nil {
 			return Value{}, err
 		}
-		return th.loadMem(p, t)
+		return loadMem(th.tc, p, t)
 	case *Cast:
 		v, err := th.eval(fr, x.X)
 		if err != nil {
@@ -648,16 +647,16 @@ func (th *thread) eval(fr []Value, e Expr) (Value, error) {
 	return Value{}, fmt.Errorf("minicuda: internal: unknown expression %T", e)
 }
 
-func (th *thread) builtinDim(base string, dim int) int {
+func (th *thread) builtinDim(base uint8, dim int) int {
 	var d gpusim.Dim3
 	switch base {
-	case "threadIdx":
+	case baseThreadIdx:
 		d = th.tc.ThreadIdx
-	case "blockIdx":
+	case baseBlockIdx:
 		d = th.tc.BlockIdx
-	case "blockDim":
+	case baseBlockDim:
 		d = th.tc.BlockDim
-	case "gridDim":
+	case baseGridDim:
 		d = th.tc.GridDim
 	}
 	switch dim {
@@ -705,7 +704,7 @@ func (th *thread) evalUnary(fr []Value, x *Unary) (Value, error) {
 		if t.Kind == KArray {
 			return ptrValue(t, p), nil
 		}
-		return th.loadMem(p, t)
+		return loadMem(th.tc, p, t)
 	case "&":
 		p, err := th.evalAddr(fr, x.X)
 		if err != nil {
@@ -1137,7 +1136,15 @@ func (th *thread) evalCall(fr []Value, x *Call) (Value, error) {
 }
 
 func (th *thread) evalBuiltin(fr []Value, x *Call) (Value, error) {
-	args := make([]Value, len(x.Args))
+	// Builtins take at most three arguments (atomicCAS); evaluating into a
+	// stack buffer keeps this hot path allocation-free.
+	var buf [4]Value
+	var args []Value
+	if n := len(x.Args); n <= len(buf) {
+		args = buf[:n]
+	} else {
+		args = make([]Value, n)
+	}
 	for i, a := range x.Args {
 		v, err := th.eval(fr, a)
 		if err != nil {

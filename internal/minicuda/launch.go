@@ -2,6 +2,8 @@ package minicuda
 
 import (
 	"fmt"
+	"os"
+	"sync"
 
 	"webgpu/internal/gpusim"
 )
@@ -31,7 +33,44 @@ func Compile(src string, dialect Dialect) (*Program, error) {
 	if err := Analyze(prog); err != nil {
 		return nil, err
 	}
+	// Lower to bytecode eagerly so the artifact is built once at compile
+	// time (and cached alongside the AST in the program cache) rather than
+	// on the first launch.
+	prog.bytecode()
 	return prog, nil
+}
+
+// Engine selects the kernel execution engine for a launch.
+type Engine uint8
+
+const (
+	// EngineAuto uses the register VM unless MINICUDA_INTERP=tree is set
+	// in the environment (or the program could not be lowered).
+	EngineAuto Engine = iota
+	// EngineVM forces the bytecode register VM (falls back to the tree
+	// walker only when lowering failed).
+	EngineVM
+	// EngineTree forces the tree-walking interpreter.
+	EngineTree
+)
+
+var (
+	engineOnce sync.Once
+	engineEnv  Engine
+)
+
+// defaultEngine resolves the process-wide engine choice once; the
+// MINICUDA_INTERP=tree escape hatch keeps the old interpreter reachable
+// without recompiling.
+func defaultEngine() Engine {
+	engineOnce.Do(func() {
+		if os.Getenv("MINICUDA_INTERP") == "tree" {
+			engineEnv = EngineTree
+		} else {
+			engineEnv = EngineVM
+		}
+	})
+	return engineEnv
 }
 
 // Arg is a kernel launch argument.
@@ -65,8 +104,9 @@ func Float(f float32) Arg { return Arg{v: floatValue(float64(f))} }
 type LaunchOpts struct {
 	Grid           gpusim.Dim3
 	Block          gpusim.Dim3
-	SharedMemBytes int   // dynamic shared memory, beyond static __shared__
-	MaxSteps       int64 // per-thread interpreter step budget; 0 = default
+	SharedMemBytes int    // dynamic shared memory, beyond static __shared__
+	MaxSteps       int64  // per-thread interpreter step budget; 0 = default
+	Engine         Engine // execution engine; EngineAuto honors MINICUDA_INTERP
 }
 
 // DefaultMaxSteps bounds per-thread interpretation; it corresponds to the
@@ -114,6 +154,22 @@ func (p *Program) Launch(dev *gpusim.Device, kernel string, opts LaunchOpts, arg
 		Block:          opts.Block,
 		SharedMemBytes: fn.SharedUse + opts.SharedMemBytes,
 		NoBarriers:     !p.usesBarrier,
+	}
+	eng := opts.Engine
+	if eng == EngineAuto {
+		eng = defaultEngine()
+	}
+	if eng != EngineTree {
+		if bc := p.bytecode(); bc != nil {
+			kfn := bc.funcs[fn]
+			cfg.NoBarriers = !bc.usesBarrier
+			return dev.Launch(kernel, cfg, func(tc *gpusim.ThreadCtx) error {
+				st := vmPool.Get().(*vmState)
+				err := bc.run(st, tc, kfn, bound, maxSteps)
+				vmPool.Put(st)
+				return err
+			})
+		}
 	}
 	return dev.Launch(kernel, cfg, func(tc *gpusim.ThreadCtx) error {
 		th := &thread{prog: p, tc: tc, maxSteps: maxSteps, dyn: fn.SharedUse}

@@ -810,7 +810,7 @@ func (p *parser) parseUnary() (Expr, error) {
 		if _, err := p.expect(")"); err != nil {
 			return nil, err
 		}
-		return &IntLit{exprBase{tok: t, typ: TypeInt}, int64(size)}, nil
+		return &IntLit{exprBase: exprBase{tok: t, typ: TypeInt}, Val: int64(size)}, nil
 	}
 	return p.parsePostfix()
 }
@@ -872,7 +872,7 @@ func (p *parser) parsePostfix() (Expr, error) {
 			if !ok {
 				return nil, errAt(mem, "unknown member %q (use .x, .y, .z)", mem.Text)
 			}
-			x = &BuiltinVarRef{exprBase{tok: t, typ: TypeInt}, vr.Name, dim}
+			x = &BuiltinVarRef{exprBase: exprBase{tok: t, typ: TypeInt}, Base: vr.Name, Dim: dim}
 		case "++", "--":
 			p.next()
 			x = &Postfix{exprBase{tok: t}, t.Text, x}
@@ -921,7 +921,7 @@ func (p *parser) parsePrimary() (Expr, error) {
 		if strings.ContainsAny(t.Text, "uU") {
 			typ = TypeUInt
 		}
-		return &IntLit{exprBase{tok: t, typ: typ}, v}, nil
+		return &IntLit{exprBase: exprBase{tok: t, typ: typ}, Val: v}, nil
 	case TokFloatLit:
 		p.next()
 		text := strings.TrimRight(t.Text, "fFlL")
@@ -929,19 +929,19 @@ func (p *parser) parsePrimary() (Expr, error) {
 		if err != nil {
 			return nil, errAt(t, "invalid float literal %q", t.Text)
 		}
-		return &FloatLit{exprBase{tok: t, typ: TypeFloat}, v}, nil
+		return &FloatLit{exprBase: exprBase{tok: t, typ: TypeFloat}, Val: v}, nil
 	case TokCharLit:
 		p.next()
 		v, err := charValue(t.Text)
 		if err != nil {
 			return nil, errAt(t, "%v", err)
 		}
-		return &IntLit{exprBase{tok: t, typ: TypeChar}, v}, nil
+		return &IntLit{exprBase: exprBase{tok: t, typ: TypeChar}, Val: v}, nil
 	case TokIdent:
 		p.next()
 		if p.dialect == DialectOpenCL {
 			if v, ok := openclConstants[t.Text]; ok {
-				return &IntLit{exprBase{tok: t, typ: TypeInt}, v}, nil
+				return &IntLit{exprBase: exprBase{tok: t, typ: TypeInt}, Val: v}, nil
 			}
 		}
 		return &VarRef{exprBase: exprBase{tok: t}, Name: t.Text}, nil
@@ -949,10 +949,10 @@ func (p *parser) parsePrimary() (Expr, error) {
 		switch t.Text {
 		case "true":
 			p.next()
-			return &BoolLit{exprBase{tok: t, typ: TypeBool}, true}, nil
+			return &BoolLit{exprBase: exprBase{tok: t, typ: TypeBool}, Val: true}, nil
 		case "false":
 			p.next()
-			return &BoolLit{exprBase{tok: t, typ: TypeBool}, false}, nil
+			return &BoolLit{exprBase: exprBase{tok: t, typ: TypeBool}, Val: false}, nil
 		}
 	case TokPunct:
 		if t.Text == "(" {

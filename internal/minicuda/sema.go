@@ -284,7 +284,18 @@ func convertible(from, to *Type) bool {
 
 func (a *analyzer) expr(e Expr) (*Type, error) {
 	switch x := e.(type) {
-	case *IntLit, *FloatLit, *BoolLit:
+	case *IntLit:
+		x.val = intValue(x.ResultType(), x.Val)
+		return e.ResultType(), nil
+	case *FloatLit:
+		x.val = floatValue(x.Val)
+		return e.ResultType(), nil
+	case *BoolLit:
+		var i int64
+		if x.Val {
+			i = 1
+		}
+		x.val = intValue(TypeBool, i)
 		return e.ResultType(), nil
 	case *VarRef:
 		if isBuiltinDim3(x.Name) {
@@ -299,6 +310,16 @@ func (a *analyzer) expr(e Expr) (*Type, error) {
 		return sym.Type, nil
 	case *BuiltinVarRef:
 		x.typ = TypeInt
+		switch x.Base {
+		case "threadIdx":
+			x.baseID = baseThreadIdx
+		case "blockIdx":
+			x.baseID = baseBlockIdx
+		case "blockDim":
+			x.baseID = baseBlockDim
+		default:
+			x.baseID = baseGridDim
+		}
 		return TypeInt, nil
 	case *Unary:
 		t, err := a.expr(x.X)

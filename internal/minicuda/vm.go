@@ -1,0 +1,733 @@
+package minicuda
+
+// Register VM: executes the bytecode produced by lowerProgram with a
+// switch-dispatch loop over typed register banks. One vmState services a
+// whole thread (and is pooled across threads of a launch), so the hot path
+// performs no per-thread allocation beyond local-array buffers the
+// semantics require. Observable behavior — gpusim counter charges, step
+// budget trips, and trap errors — matches the tree-walking interpreter in
+// interp.go instruction by instruction; the differential fuzz test in
+// diff_test.go enforces that.
+
+import (
+	"math"
+	"sync"
+
+	"webgpu/internal/gpusim"
+)
+
+// vmRet is one saved frame on the call stack.
+type vmRet struct {
+	pc         int32
+	bI, bF, bP int32
+	fn         *bcFunc
+	dstBank    uint8
+	dstReg     int32 // absolute index in the caller's bank
+}
+
+// vmState holds the register banks and call stack for one thread. It is
+// reused across threads via vmPool.
+type vmState struct {
+	ints   []int64
+	floats []float64
+	ptrs   []Pointer
+	stack  []vmRet
+}
+
+var vmPool = sync.Pool{New: func() any { return &vmState{} }}
+
+func growI64(s []int64, need int) []int64 {
+	if need <= len(s) {
+		return s
+	}
+	n := make([]int64, 2*need)
+	copy(n, s)
+	return n
+}
+
+func growF64(s []float64, need int) []float64 {
+	if need <= len(s) {
+		return s
+	}
+	n := make([]float64, 2*need)
+	copy(n, s)
+	return n
+}
+
+func growPtr(s []Pointer, need int) []Pointer {
+	if need <= len(s) {
+		return s
+	}
+	n := make([]Pointer, 2*need)
+	copy(n, s)
+	return n
+}
+
+func ptrTruthy(p Pointer) bool {
+	return !p.Glob.IsNil() || p.Local != nil || p.Off != 0
+}
+
+func round32(f float64) float64 { return float64(float32(f)) }
+
+func cmpIRes(code int32, a, b int64) int64 {
+	var res bool
+	switch code {
+	case cmpEQ:
+		res = a == b
+	case cmpNE:
+		res = a != b
+	case cmpLT:
+		res = a < b
+	case cmpLE:
+		res = a <= b
+	case cmpGT:
+		res = a > b
+	default:
+		res = a >= b
+	}
+	if res {
+		return 1
+	}
+	return 0
+}
+
+func cmpURes(code int32, a, b uint32) int64 {
+	var res bool
+	switch code {
+	case cmpEQ:
+		res = a == b
+	case cmpNE:
+		res = a != b
+	case cmpLT:
+		res = a < b
+	case cmpLE:
+		res = a <= b
+	case cmpGT:
+		res = a > b
+	default:
+		res = a >= b
+	}
+	if res {
+		return 1
+	}
+	return 0
+}
+
+func cmpFRes(code int32, a, b float64) int64 {
+	var res bool
+	switch code {
+	case cmpEQ:
+		res = a == b
+	case cmpNE:
+		res = a != b
+	case cmpLT:
+		res = a < b
+	case cmpLE:
+		res = a <= b
+	case cmpGT:
+		res = a > b
+	default:
+		res = a >= b
+	}
+	if res {
+		return 1
+	}
+	return 0
+}
+
+func cmpPRes(code int32, a, b Pointer) int64 {
+	d := ptrDelta(a, b)
+	eq := d == 0 && a.Space == b.Space && a.Glob == b.Glob && a.Local == b.Local
+	var res bool
+	switch code {
+	case cmpEQ:
+		res = eq
+	case cmpNE:
+		res = !eq
+	case cmpLT:
+		res = d < 0
+	case cmpLE:
+		res = d <= 0
+	case cmpGT:
+		res = d > 0
+	default:
+		res = d >= 0
+	}
+	if res {
+		return 1
+	}
+	return 0
+}
+
+// vmAtomic mirrors the tree-walker's evalAtomic: memory-space dispatch and
+// trap messages are resolved at run time. iv/fv carry the raw-converted
+// operand (one of them, per the lowering's bank choice); iv2 is the
+// atomicCAS third operand.
+func vmAtomic(tc *gpusim.ThreadCtx, spec *atomSpec, p Pointer, iv int64, fv float64, iv2 int64) (Value, error) {
+	elem := spec.elem
+	switch p.Space {
+	case SpaceGlobal:
+		switch spec.name {
+		case "atomicAdd", "atomicSub":
+			if elem.Kind == KFloat {
+				d := fv
+				if spec.name == "atomicSub" {
+					d = -d
+				}
+				old, err := tc.AtomicAddFloat32(p.Glob, 0, float32(d))
+				return Value{T: elem, F: float64(old)}, err
+			}
+			d := iv
+			if spec.name == "atomicSub" {
+				d = -d
+			}
+			old, err := tc.AtomicAddInt32(p.Glob, 0, int32(d))
+			return intValue(elem, int64(old)), err
+		case "atomicMax":
+			old, err := tc.AtomicMaxInt32(p.Glob, 0, int32(iv))
+			return intValue(elem, int64(old)), err
+		case "atomicMin":
+			old, err := tc.AtomicMinInt32(p.Glob, 0, int32(iv))
+			return intValue(elem, int64(old)), err
+		case "atomicExch":
+			if elem.Kind == KFloat {
+				old, err := tc.AtomicExchInt32(p.Glob, 0, int32(math.Float32bits(float32(fv))))
+				return Value{T: elem, F: float64(math.Float32frombits(uint32(old)))}, err
+			}
+			old, err := tc.AtomicExchInt32(p.Glob, 0, int32(iv))
+			return intValue(elem, int64(old)), err
+		case "atomicCAS":
+			old, err := tc.AtomicCASInt32(p.Glob, 0, int32(iv), int32(iv2))
+			return intValue(elem, int64(old)), err
+		}
+	case SpaceShared:
+		switch spec.name {
+		case "atomicAdd", "atomicSub":
+			if elem.Kind == KFloat {
+				d := fv
+				if spec.name == "atomicSub" {
+					d = -d
+				}
+				old, err := tc.SharedAtomicAddFloat32(p.Off/4, float32(d))
+				return Value{T: elem, F: float64(old)}, err
+			}
+			d := iv
+			if spec.name == "atomicSub" {
+				d = -d
+			}
+			old, err := tc.SharedAtomicAddInt32(p.Off/4, int32(d))
+			return intValue(elem, int64(old)), err
+		}
+		return Value{}, errAt(spec.tok, "%s is not supported on shared memory", spec.name)
+	}
+	return Value{}, errAt(spec.tok, "atomic on unsupported memory space %s", p.Space)
+}
+
+// atomFloatVal reports whether the lowering placed the atomic's value
+// operand in the float bank (must match the choice in lowerer.builtin).
+func atomFloatVal(spec *atomSpec) bool {
+	if spec.elem.Kind != KFloat {
+		return false
+	}
+	switch spec.name {
+	case "atomicAdd", "atomicSub", "atomicExch":
+		return true
+	}
+	return false
+}
+
+func dimPick(dims *[12]int, base int32, dim int64) int {
+	if dim >= 0 && dim < 3 {
+		return dims[base*3+int32(dim)]
+	}
+	return 0
+}
+
+// run executes kernel function kfn for one thread.
+func (bc *bytecodeProgram) run(st *vmState, tc *gpusim.ThreadCtx, kfn *bcFunc, bound []Value, maxSteps int64) error {
+	var dims [12]int
+	d := tc.ThreadIdx
+	dims[0], dims[1], dims[2] = d.X, d.Y, d.Z
+	d = tc.BlockIdx
+	dims[3], dims[4], dims[5] = d.X, d.Y, d.Z
+	d = tc.BlockDim
+	dims[6], dims[7], dims[8] = d.X, d.Y, d.Z
+	d = tc.GridDim
+	dims[9], dims[10], dims[11] = d.X, d.Y, d.Z
+
+	st.ints = growI64(st.ints, int(kfn.numI))
+	st.floats = growF64(st.floats, int(kfn.numF))
+	st.ptrs = growPtr(st.ptrs, int(kfn.numP))
+	ints, floats, ptrs := st.ints, st.floats, st.ptrs
+	stack := st.stack[:0]
+	defer func() { st.stack = stack }()
+
+	for i, p := range kfn.params {
+		v := bound[i]
+		switch p.bank {
+		case bankI:
+			ints[p.reg] = v.I
+		case bankF:
+			floats[p.reg] = v.F
+		default:
+			ptrs[p.reg] = v.P
+		}
+	}
+
+	code := bc.code
+	fn := kfn
+	pc := fn.entry
+	var bI, bF, bP int32
+	var steps int64
+	depth := 0
+
+	for {
+		in := &code[pc]
+		pc++
+		if in.steps != 0 {
+			steps += int64(in.steps)
+			if steps > maxSteps {
+				return ErrStepLimit
+			}
+		}
+		if in.alu != 0 {
+			tc.CountALU(int(in.alu))
+		}
+		switch in.op {
+		case opStep:
+		case opLoadKI:
+			ints[bI+in.a] = in.k
+		case opLoadKF:
+			floats[bF+in.a] = in.f
+		case opMovI:
+			ints[bI+in.a] = ints[bI+in.b]
+		case opMovF:
+			floats[bF+in.a] = floats[bF+in.b]
+		case opMovP:
+			ptrs[bP+in.a] = ptrs[bP+in.b]
+		case opZeroP:
+			ptrs[bP+in.a] = Pointer{}
+		case opLeaShared:
+			ptrs[bP+in.a] = Pointer{Space: SpaceShared, Off: int(in.k)}
+		case opLeaConst:
+			ptrs[bP+in.a] = Pointer{Space: SpaceConst, Off: int(in.k)}
+		case opAllocLocal:
+			t := in.t
+			n := t.Size() / t.ElemBase().Size()
+			buf := &localBuf{vals: make([]Value, n), elem: t.ElemBase()}
+			for i := range buf.vals {
+				buf.vals[i] = Value{T: buf.elem}
+			}
+			ptrs[bP+in.a] = Pointer{Space: SpaceLocal, Elem: t, Local: buf}
+		case opThreadDim:
+			ints[bI+in.a] = int64(dims[in.aux])
+		case opWorkItem:
+			dim := ints[bI+in.b]
+			var v int
+			switch in.aux {
+			case wiGlobalID:
+				v = dimPick(&dims, 1, dim)*dimPick(&dims, 2, dim) + dimPick(&dims, 0, dim)
+			case wiLocalID:
+				v = dimPick(&dims, 0, dim)
+			case wiGroupID:
+				v = dimPick(&dims, 1, dim)
+			case wiLocalSize:
+				v = dimPick(&dims, 2, dim)
+			case wiNumGroups:
+				v = dimPick(&dims, 3, dim)
+			case wiGlobalSize:
+				v = dimPick(&dims, 3, dim) * dimPick(&dims, 2, dim)
+			}
+			ints[bI+in.a] = int64(int32(v))
+		case opI2F:
+			floats[bF+in.a] = float64(float32(ints[bI+in.b]))
+		case opI2FRaw:
+			floats[bF+in.a] = float64(ints[bI+in.b])
+		case opF2I:
+			ints[bI+in.a] = truncInt(in.t, int64(floats[bF+in.b]))
+		case opF2IRaw:
+			ints[bI+in.a] = int64(floats[bF+in.b])
+		case opF2F:
+			floats[bF+in.a] = round32(floats[bF+in.b])
+		case opTruncI:
+			ints[bI+in.a] = truncInt(in.t, ints[bI+in.b])
+		case opAddI:
+			ints[bI+in.a] = truncInt(in.t, ints[bI+in.b]+ints[bI+in.c])
+		case opSubI:
+			ints[bI+in.a] = truncInt(in.t, ints[bI+in.b]-ints[bI+in.c])
+		case opMulI:
+			ints[bI+in.a] = truncInt(in.t, ints[bI+in.b]*ints[bI+in.c])
+		case opDivI:
+			c := ints[bI+in.c]
+			if c == 0 {
+				return ErrDivByZero
+			}
+			ints[bI+in.a] = truncInt(in.t, ints[bI+in.b]/c)
+		case opModI:
+			c := ints[bI+in.c]
+			if c == 0 {
+				return ErrDivByZero
+			}
+			ints[bI+in.a] = truncInt(in.t, ints[bI+in.b]%c)
+		case opDivU:
+			c := uint32(ints[bI+in.c])
+			if c == 0 {
+				return ErrDivByZero
+			}
+			ints[bI+in.a] = truncInt(in.t, int64(uint32(ints[bI+in.b])/c))
+		case opModU:
+			c := uint32(ints[bI+in.c])
+			if c == 0 {
+				return ErrDivByZero
+			}
+			ints[bI+in.a] = truncInt(in.t, int64(uint32(ints[bI+in.b])%c))
+		case opAndI:
+			ints[bI+in.a] = truncInt(in.t, ints[bI+in.b]&ints[bI+in.c])
+		case opOrI:
+			ints[bI+in.a] = truncInt(in.t, ints[bI+in.b]|ints[bI+in.c])
+		case opXorI:
+			ints[bI+in.a] = truncInt(in.t, ints[bI+in.b]^ints[bI+in.c])
+		case opShlI:
+			ints[bI+in.a] = truncInt(in.t, ints[bI+in.b]<<(uint(ints[bI+in.c])&31))
+		case opShrI:
+			ints[bI+in.a] = truncInt(in.t, int64(int32(ints[bI+in.b])>>(uint(ints[bI+in.c])&31)))
+		case opShrU:
+			ints[bI+in.a] = truncInt(in.t, int64(uint32(ints[bI+in.b])>>(uint(ints[bI+in.c])&31)))
+		case opNegI:
+			ints[bI+in.a] = truncInt(in.t, -ints[bI+in.b])
+		case opNotI:
+			ints[bI+in.a] = truncInt(in.t, ^ints[bI+in.b])
+		case opAddKI:
+			ints[bI+in.a] = truncInt(in.t, ints[bI+in.b]+in.k)
+		case opMinI:
+			x, y := ints[bI+in.b], ints[bI+in.c]
+			if y < x {
+				x = y
+			}
+			ints[bI+in.a] = truncInt(in.t, x)
+		case opMaxI:
+			x, y := ints[bI+in.b], ints[bI+in.c]
+			if y > x {
+				x = y
+			}
+			ints[bI+in.a] = truncInt(in.t, x)
+		case opAbsI:
+			v := ints[bI+in.b]
+			if v < 0 {
+				v = -v
+			}
+			ints[bI+in.a] = truncInt(TypeInt, v)
+		case opLNotI:
+			if ints[bI+in.b] != 0 {
+				ints[bI+in.a] = 0
+			} else {
+				ints[bI+in.a] = 1
+			}
+		case opLNotF:
+			if floats[bF+in.b] != 0 {
+				ints[bI+in.a] = 0
+			} else {
+				ints[bI+in.a] = 1
+			}
+		case opLNotP:
+			if ptrTruthy(ptrs[bP+in.b]) {
+				ints[bI+in.a] = 0
+			} else {
+				ints[bI+in.a] = 1
+			}
+		case opTruthyI:
+			if ints[bI+in.b] != 0 {
+				ints[bI+in.a] = 1
+			} else {
+				ints[bI+in.a] = 0
+			}
+		case opTruthyF:
+			if floats[bF+in.b] != 0 {
+				ints[bI+in.a] = 1
+			} else {
+				ints[bI+in.a] = 0
+			}
+		case opTruthyP:
+			if ptrTruthy(ptrs[bP+in.b]) {
+				ints[bI+in.a] = 1
+			} else {
+				ints[bI+in.a] = 0
+			}
+		case opAddF:
+			floats[bF+in.a] = round32(floats[bF+in.b] + floats[bF+in.c])
+		case opSubF:
+			floats[bF+in.a] = round32(floats[bF+in.b] - floats[bF+in.c])
+		case opMulF:
+			floats[bF+in.a] = round32(floats[bF+in.b] * floats[bF+in.c])
+		case opDivF:
+			floats[bF+in.a] = round32(floats[bF+in.b] / floats[bF+in.c])
+		case opNegF:
+			floats[bF+in.a] = round32(-floats[bF+in.b])
+		case opAddKF:
+			floats[bF+in.a] = round32(floats[bF+in.b] + in.f)
+		case opMinF:
+			floats[bF+in.a] = round32(math.Min(floats[bF+in.b], floats[bF+in.c]))
+		case opMaxF:
+			floats[bF+in.a] = round32(math.Max(floats[bF+in.b], floats[bF+in.c]))
+		case opFAbsF:
+			floats[bF+in.a] = round32(math.Abs(floats[bF+in.b]))
+		case opFloor:
+			floats[bF+in.a] = round32(math.Floor(floats[bF+in.b]))
+		case opCeil:
+			floats[bF+in.a] = round32(math.Ceil(floats[bF+in.b]))
+		case opSqrt:
+			tc.CountSpecial(1)
+			floats[bF+in.a] = round32(math.Sqrt(floats[bF+in.b]))
+		case opRsqrt:
+			tc.CountSpecial(1)
+			floats[bF+in.a] = round32(1 / math.Sqrt(floats[bF+in.b]))
+		case opExp:
+			tc.CountSpecial(1)
+			floats[bF+in.a] = round32(math.Exp(floats[bF+in.b]))
+		case opLog:
+			tc.CountSpecial(1)
+			floats[bF+in.a] = round32(math.Log(floats[bF+in.b]))
+		case opPow:
+			tc.CountSpecial(1)
+			floats[bF+in.a] = round32(math.Pow(floats[bF+in.b], floats[bF+in.c]))
+		case opSin:
+			tc.CountSpecial(1)
+			floats[bF+in.a] = round32(math.Sin(floats[bF+in.b]))
+		case opCos:
+			tc.CountSpecial(1)
+			floats[bF+in.a] = round32(math.Cos(floats[bF+in.b]))
+		case opCmpI:
+			ints[bI+in.a] = cmpIRes(in.aux, ints[bI+in.b], ints[bI+in.c])
+		case opCmpU:
+			ints[bI+in.a] = cmpURes(in.aux, uint32(ints[bI+in.b]), uint32(ints[bI+in.c]))
+		case opCmpF:
+			ints[bI+in.a] = cmpFRes(in.aux, floats[bF+in.b], floats[bF+in.c])
+		case opCmpP:
+			ints[bI+in.a] = cmpPRes(in.aux, ptrs[bP+in.b], ptrs[bP+in.c])
+		case opPAdd:
+			ptrs[bP+in.a] = ptrs[bP+in.b].offset(int(ints[bI+in.c]) * int(in.k))
+		case opPAddK:
+			ptrs[bP+in.a] = ptrs[bP+in.b].offset(int(in.k))
+		case opPDiff:
+			ints[bI+in.a] = truncInt(TypeInt, int64(ptrDelta(ptrs[bP+in.b], ptrs[bP+in.c])/int(in.k)))
+		case opLoad:
+			p := ptrs[bP+in.b]
+			// 4-byte global and shared scalars take a direct path to the
+			// same ThreadCtx entry points loadMem uses, skipping the Value
+			// boxing; traps and truncation are identical.
+			if in.kind == bankF && in.t.Kind == KFloat {
+				if p.Space == SpaceGlobal {
+					f, err := tc.LoadFloat32(p.Glob, 0)
+					if err != nil {
+						return err
+					}
+					floats[bF+in.a] = float64(f)
+					break
+				}
+				if p.Space == SpaceShared {
+					f, err := tc.SharedLoadFloat32(p.Off / 4)
+					if err != nil {
+						return err
+					}
+					floats[bF+in.a] = float64(f)
+					break
+				}
+			} else if in.kind == bankI && in.t.Kind != KFloat {
+				if p.Space == SpaceGlobal && in.t.Size() == 4 {
+					i, err := tc.LoadInt32(p.Glob, 0)
+					if err != nil {
+						return err
+					}
+					ints[bI+in.a] = truncInt(in.t, int64(i))
+					break
+				}
+				if p.Space == SpaceShared {
+					i, err := tc.SharedLoadInt32(p.Off / 4)
+					if err != nil {
+						return err
+					}
+					ints[bI+in.a] = truncInt(in.t, int64(i))
+					break
+				}
+			}
+			v, err := loadMem(tc, p, in.t)
+			if err != nil {
+				return err
+			}
+			switch in.kind {
+			case bankI:
+				ints[bI+in.a] = v.I
+			case bankF:
+				floats[bF+in.a] = v.F
+			default:
+				ptrs[bP+in.a] = v.P
+			}
+		case opStoreI:
+			p := ptrs[bP+in.b]
+			if in.t.Kind != KFloat {
+				if p.Space == SpaceGlobal && in.t.Size() == 4 {
+					if err := tc.StoreInt32(p.Glob, 0, int32(ints[bI+in.c])); err != nil {
+						return err
+					}
+					break
+				}
+				if p.Space == SpaceShared {
+					if err := tc.SharedStoreInt32(p.Off/4, int32(ints[bI+in.c])); err != nil {
+						return err
+					}
+					break
+				}
+			}
+			if err := storeMem(tc, p, in.t, Value{T: in.t, I: ints[bI+in.c]}); err != nil {
+				return err
+			}
+		case opStoreF:
+			p := ptrs[bP+in.b]
+			if in.t.Kind == KFloat {
+				if p.Space == SpaceGlobal {
+					if err := tc.StoreFloat32(p.Glob, 0, float32(floats[bF+in.c])); err != nil {
+						return err
+					}
+					break
+				}
+				if p.Space == SpaceShared {
+					if err := tc.SharedStoreFloat32(p.Off/4, float32(floats[bF+in.c])); err != nil {
+						return err
+					}
+					break
+				}
+			}
+			if err := storeMem(tc, p, in.t, Value{T: in.t, F: floats[bF+in.c]}); err != nil {
+				return err
+			}
+		case opStoreP:
+			if err := storeMem(tc, ptrs[bP+in.b], in.t, Value{T: in.t, P: ptrs[bP+in.c]}); err != nil {
+				return err
+			}
+		case opJmp:
+			pc = in.aux
+		case opJZ:
+			var tv bool
+			switch in.kind {
+			case bankI:
+				tv = ints[bI+in.b] != 0
+			case bankF:
+				tv = floats[bF+in.b] != 0
+			default:
+				tv = ptrTruthy(ptrs[bP+in.b])
+			}
+			tc.CountBranch()
+			if !tv {
+				pc = in.aux
+			}
+		case opJNZ:
+			var tv bool
+			switch in.kind {
+			case bankI:
+				tv = ints[bI+in.b] != 0
+			case bankF:
+				tv = floats[bF+in.b] != 0
+			default:
+				tv = ptrTruthy(ptrs[bP+in.b])
+			}
+			tc.CountBranch()
+			if tv {
+				pc = in.aux
+			}
+		case opCheckDepth:
+			if depth >= maxCallDepth {
+				return ErrCallDepth
+			}
+		case opCall:
+			cs := bc.calls[in.aux]
+			tgt := cs.target
+			nbI, nbF, nbP := bI+fn.numI, bF+fn.numF, bP+fn.numP
+			st.ints = growI64(st.ints, int(nbI+tgt.numI))
+			st.floats = growF64(st.floats, int(nbF+tgt.numF))
+			st.ptrs = growPtr(st.ptrs, int(nbP+tgt.numP))
+			ints, floats, ptrs = st.ints, st.floats, st.ptrs
+			for _, m := range cs.moves {
+				switch m.bank {
+				case bankI:
+					ints[nbI+m.dst] = ints[bI+m.src]
+				case bankF:
+					floats[nbF+m.dst] = floats[bF+m.src]
+				default:
+					ptrs[nbP+m.dst] = ptrs[bP+m.src]
+				}
+			}
+			var dstAbs int32
+			switch cs.dst.bank {
+			case bankI:
+				dstAbs = bI + cs.dst.reg
+			case bankF:
+				dstAbs = bF + cs.dst.reg
+			case bankP:
+				dstAbs = bP + cs.dst.reg
+			}
+			stack = append(stack, vmRet{pc: pc, bI: bI, bF: bF, bP: bP,
+				fn: fn, dstBank: cs.dst.bank, dstReg: dstAbs})
+			bI, bF, bP = nbI, nbF, nbP
+			fn = tgt
+			pc = tgt.entry
+			depth++
+		case opRet:
+			if len(stack) == 0 {
+				return nil
+			}
+			fr := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			switch fr.dstBank {
+			case bankI:
+				var v int64
+				if in.kind == bankI {
+					v = ints[bI+in.b]
+				}
+				ints[fr.dstReg] = v
+			case bankF:
+				var v float64
+				if in.kind == bankF {
+					v = floats[bF+in.b]
+				}
+				floats[fr.dstReg] = v
+			case bankP:
+				var v Pointer
+				if in.kind == bankP {
+					v = ptrs[bP+in.b]
+				}
+				ptrs[fr.dstReg] = v
+			}
+			bI, bF, bP = fr.bI, fr.bF, fr.bP
+			fn = fr.fn
+			pc = fr.pc
+			depth--
+		case opSync:
+			if err := tc.SyncThreads(); err != nil {
+				return err
+			}
+		case opAtomic:
+			spec := bc.atomics[in.aux]
+			var iv, iv2 int64
+			var fv float64
+			if atomFloatVal(spec) {
+				fv = floats[bF+in.c]
+			} else {
+				iv = ints[bI+in.c]
+			}
+			if spec.name == "atomicCAS" {
+				iv2 = ints[bI+spec.val2]
+			}
+			v, err := vmAtomic(tc, spec, ptrs[bP+in.b], iv, fv, iv2)
+			if err != nil {
+				return err
+			}
+			if in.kind == bankF {
+				floats[bF+in.a] = v.F
+			} else {
+				ints[bI+in.a] = v.I
+			}
+		case opTrap:
+			return bc.traps[in.aux]
+		}
+	}
+}

@@ -53,6 +53,8 @@ func (s Status) Render() string {
 	fmt.Fprintf(&sb, "gradebook rows: %d\n", s.GradebookRows)
 	fmt.Fprintf(&sb, "prog cache:     %d hits, %d misses, %d coalesced, %d evicted, %d cached\n",
 		s.ProgCache.Hits, s.ProgCache.Misses, s.ProgCache.Coalesced, s.ProgCache.Evictions, s.ProgCache.Size)
+	fmt.Fprintf(&sb, "prog artifacts: %d bytecode hits, %d ast hits, %d bytecode bytes cached\n",
+		s.ProgCache.HitsBytecode, s.ProgCache.HitsAST, s.ProgCache.BytecodeBytes)
 	if s.BrokerStats != "" {
 		fmt.Fprintf(&sb, "broker backlog: %d (standby mirror depth %d)\n", s.BrokerBacklog, s.StandbyDepth)
 		fmt.Fprintf(&sb, "broker stats:   %s\n", s.BrokerStats)

@@ -130,6 +130,9 @@ func New(opts Options) *Platform {
 		s := p.progs.Stats()
 		r.Set("progcache_entries", float64(s.Size))
 		r.Set("progcache_evictions", float64(s.Evictions))
+		r.Set("progcache_hits_bytecode", float64(s.HitsBytecode))
+		r.Set("progcache_hits_ast", float64(s.HitsAST))
+		r.Set("progcache_bytecode_bytes", float64(s.BytecodeBytes))
 		r.Set("workers", float64(p.Workers()))
 	})
 

@@ -52,19 +52,23 @@ const DefaultCapacity = 4096
 
 // Stats is a point-in-time snapshot of the cache counters.
 type Stats struct {
-	Hits      int64 // served from the cache
-	Misses    int64 // had to compile
-	Coalesced int64 // waited on a concurrent identical compile
-	Evictions int64 // entries dropped by the LRU bound
-	Compiles  int64 // underlying compile executions (== Misses)
-	Size      int   // entries currently cached
+	Hits          int64 // served from the cache
+	HitsAST       int64 // hits on programs executed by the tree walker
+	HitsBytecode  int64 // hits on programs carrying a bytecode artifact
+	Misses        int64 // had to compile
+	Coalesced     int64 // waited on a concurrent identical compile
+	Evictions     int64 // entries dropped by the LRU bound
+	Compiles      int64 // underlying compile executions (== Misses)
+	Size          int   // entries currently cached
+	BytecodeBytes int64 // lowered-bytecode bytes held by cached entries
 }
 
 type entry struct {
-	key  string
-	prog *minicuda.Program
-	err  error
-	elem *list.Element
+	key     string
+	prog    *minicuda.Program
+	err     error
+	elem    *list.Element
+	bcBytes int64 // bytecode artifact size, counted into Stats.BytecodeBytes
 }
 
 // flight is one in-progress compile that concurrent callers wait on.
@@ -143,6 +147,15 @@ func (c *Cache) CompileStatus(src string, dialect minicuda.Dialect) (*minicuda.P
 		c.lru.MoveToFront(e.elem)
 		c.stats.Hits++
 		c.inc("progcache_hits")
+		// Split the hit by the executable artifact the program runs on, so
+		// the rollout of the register VM is observable per worker.
+		if e.prog != nil && e.prog.ArtifactKind() == "bytecode" {
+			c.stats.HitsBytecode++
+			c.inc("progcache_hits_bytecode")
+		} else {
+			c.stats.HitsAST++
+			c.inc("progcache_hits_ast")
+		}
 		c.mu.Unlock()
 		return e.prog, Hit, e.err
 	}
@@ -165,19 +178,25 @@ func (c *Cache) CompileStatus(src string, dialect minicuda.Dialect) (*minicuda.P
 	c.stats.Compiles++
 	delete(c.inflight, key)
 	e := &entry{key: key, prog: prog, err: err}
+	if prog != nil {
+		e.bcBytes = int64(prog.BytecodeBytes())
+	}
 	e.elem = c.lru.PushFront(e)
 	c.entries[key] = e
+	c.stats.BytecodeBytes += e.bcBytes
 	for c.capacity > 0 && c.lru.Len() > c.capacity {
 		back := c.lru.Back()
 		old := back.Value.(*entry)
 		c.lru.Remove(back)
 		delete(c.entries, old.key)
+		c.stats.BytecodeBytes -= old.bcBytes
 		c.stats.Evictions++
 		c.inc("progcache_evictions")
 	}
 	c.stats.Size = len(c.entries)
 	if c.reg != nil {
 		c.reg.Set("progcache_size", float64(len(c.entries)))
+		c.reg.Set("progcache_bytecode_bytes", float64(c.stats.BytecodeBytes))
 	}
 	c.mu.Unlock()
 

@@ -199,3 +199,50 @@ func TestConcurrentMixedSources(t *testing.T) {
 		t.Errorf("accounted accesses = %d, want %d", total, goroutines*iters)
 	}
 }
+
+func TestArtifactStats(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := New(2, reg)
+	src := kernelSrc(40)
+
+	p, _, err := c.CompileStatus(src, minicuda.DialectCUDA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	if want := int64(p.BytecodeBytes()); s.BytecodeBytes != want || want == 0 {
+		t.Fatalf("BytecodeBytes = %d, want %d (nonzero)", s.BytecodeBytes, want)
+	}
+	if _, st, _ := c.CompileStatus(src, minicuda.DialectCUDA); st != Hit {
+		t.Fatalf("status = %v, want Hit", st)
+	}
+	s = c.Stats()
+	if s.HitsBytecode+s.HitsAST != 1 || s.HitsBytecode+s.HitsAST != s.Hits {
+		t.Fatalf("hit split %d+%d does not cover %d hits",
+			s.HitsBytecode, s.HitsAST, s.Hits)
+	}
+	if p.ArtifactKind() == "bytecode" && s.HitsBytecode != 1 {
+		t.Fatalf("stats = %+v, want the hit counted as bytecode", s)
+	}
+
+	// Evicting an entry releases its artifact bytes.
+	if _, err := c.Compile(kernelSrc(41), minicuda.DialectCUDA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Compile(kernelSrc(42), minicuda.DialectCUDA); err != nil {
+		t.Fatal(err)
+	}
+	s = c.Stats()
+	if s.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", s.Evictions)
+	}
+	var total int64
+	c.mu.Lock()
+	for _, e := range c.entries {
+		total += e.bcBytes
+	}
+	c.mu.Unlock()
+	if s.BytecodeBytes != total {
+		t.Fatalf("BytecodeBytes = %d, want %d (sum over live entries)", s.BytecodeBytes, total)
+	}
+}

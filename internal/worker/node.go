@@ -365,14 +365,25 @@ func (n *Node) Execute(ctx context.Context, job *Job) *Result {
 			o.Trace = clamped
 		}
 		if tr != nil && (o.Ran || o.Canceled) {
+			attrs := map[string]string{
+				"correct":  strconv.FormatBool(o.Correct),
+				"canceled": strconv.FormatBool(o.Canceled),
+				"sim_time": o.SimTime.String(),
+			}
+			if prog != nil {
+				// Which execution engine ran the kernels, and how large
+				// the lowered artifact was.
+				if prog.ArtifactKind() == "bytecode" {
+					attrs["engine"] = "vm"
+					attrs["instructions"] = strconv.Itoa(prog.InstructionCount())
+				} else {
+					attrs["engine"] = "tree"
+				}
+			}
 			tr.Add(trace.Span{
 				Name:  fmt.Sprintf("exec[dataset=%d]", o.DatasetID),
 				Start: execStart, Dur: o.WallTime,
-				Attrs: map[string]string{
-					"correct":  strconv.FormatBool(o.Correct),
-					"canceled": strconv.FormatBool(o.Canceled),
-					"sim_time": o.SimTime.String(),
-				}})
+				Attrs: attrs})
 		}
 		switch {
 		case o.Canceled:

@@ -1,0 +1,99 @@
+// Command benchgate is the soft performance gate used by the CI bench job.
+// It parses `go test -bench` output and compares each benchmark's ns/op
+// against the ceilings committed in BENCH_baseline.json. Ceilings are
+// deliberately generous (roughly 2x a warm local run) so the gate only
+// trips on order-of-magnitude regressions, not machine noise; the CI job
+// runs it with continue-on-error so a trip annotates the run rather than
+// blocking the merge.
+//
+// Usage: benchgate <baseline.json> <bench-output.txt>
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type baseline struct {
+	Note       string             `json:"note"`
+	Benchmarks map[string]float64 `json:"benchmarks"` // name -> ns/op ceiling
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchgate <baseline.json> <bench-output.txt>")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate: parse baseline:", err)
+		os.Exit(2)
+	}
+
+	results, err := parseBench(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	for name, ceiling := range base.Benchmarks {
+		got, ok := results[name]
+		if !ok {
+			fmt.Printf("benchgate: MISSING  %-45s (no result; ceiling %.0f ns/op)\n", name, ceiling)
+			failed = true
+			continue
+		}
+		status := "ok"
+		if got > ceiling {
+			status = "REGRESSED"
+			failed = true
+		}
+		fmt.Printf("benchgate: %-9s %-45s %12.0f ns/op (ceiling %.0f)\n", status, name, got, ceiling)
+	}
+	if failed {
+		fmt.Println("benchgate: soft gate tripped — investigate before merging")
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: all benchmarks within ceilings")
+}
+
+// parseBench extracts {name -> best ns/op} from go test -bench output. The
+// trailing -N GOMAXPROCS suffix is stripped; with -count > 1 the fastest
+// run wins, which rejects scheduling noise rather than averaging it in.
+func parseBench(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]float64{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") || fields[3] != "ns/op" {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			name = name[:i]
+		}
+		ns, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			continue
+		}
+		if prev, ok := out[name]; !ok || ns < prev {
+			out[name] = ns
+		}
+	}
+	return out, sc.Err()
+}
