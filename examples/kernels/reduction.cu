@@ -1,0 +1,25 @@
+// Block-level tree reduction into a shared-memory scratch array. Every
+// thread loads (up to) two elements, then the stride loop halves the
+// active set each round. The __syncthreads() at the top of the loop body
+// runs in uniform control flow — all threads reach it — which is exactly
+// the shape kernelcheck's barrier-divergence pass expects.
+#define BLOCK_SIZE 256
+__global__ void total(float *input, float *output, int len) {
+  __shared__ float partial[BLOCK_SIZE];
+  int t = threadIdx.x;
+  int i = blockIdx.x * blockDim.x * 2 + threadIdx.x;
+  float sum = 0.0f;
+  if (i < len) sum += input[i];
+  if (i + blockDim.x < len) sum += input[i + blockDim.x];
+  partial[t] = sum;
+  for (int stride = blockDim.x / 2; stride >= 1; stride /= 2) {
+    __syncthreads();
+    if (t < stride) partial[t] += partial[t + stride];
+  }
+  // A final barrier before thread 0 publishes the block's sum: the loop
+  // above ends with stores from the last active round still unordered
+  // against this read, and the analyzer (rightly) can't prove the writer
+  // set collapsed to thread 0.
+  __syncthreads();
+  if (t == 0) atomicAdd(output, partial[0]);
+}

@@ -1,0 +1,9 @@
+// OpenCL flavor of vector addition: one work-item per element, global
+// id in place of the CUDA block/thread index arithmetic.
+__kernel void vadd(__global const float *a, __global const float *b,
+                   __global float *result, int len) {
+  int id = get_global_id(0);
+  if (id < len) {
+    result[id] = a[id] + b[id];
+  }
+}

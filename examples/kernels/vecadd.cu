@@ -1,0 +1,9 @@
+// Element-wise vector addition: the canonical first CUDA kernel.
+// One thread per element; the bounds guard keeps the last, partially
+// filled block from reading past the arrays.
+__global__ void vecAdd(float *in1, float *in2, float *out, int len) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < len) {
+    out[i] = in1[i] + in2[i];
+  }
+}

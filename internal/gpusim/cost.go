@@ -18,6 +18,31 @@ const (
 	bankWidthBytes       = 4
 )
 
+// CostModel exposes the simulator's cost-model constants to tooling that
+// wants its advice to match what the simulator charges — kernelcheck's
+// performance advisories cite these numbers so a student sees the same
+// ratios in the diagnostic and in the lab's timing output.
+type CostModel struct {
+	LatGlobalTx    int // cycles per 128-byte global transaction
+	LatSharedTx    int // cycles per conflict-free shared access
+	LatBarrier     int // cycles per __syncthreads
+	SegmentBytes   int // global coalescing segment size
+	NumBanks       int // shared-memory banks
+	BankWidthBytes int // bytes per bank word
+}
+
+// CostParams returns the constants the cost model charges with.
+func CostParams() CostModel {
+	return CostModel{
+		LatGlobalTx:    latGlobalTx,
+		LatSharedTx:    latSharedTx,
+		LatBarrier:     latBarrier,
+		SegmentBytes:   segmentBytes,
+		NumBanks:       numBanks,
+		BankWidthBytes: bankWidthBytes,
+	}
+}
+
 // Memory-access events are recorded lock-free into per-thread logs and
 // aggregated once per block under the warp-synchronous approximation: the
 // k-th global (resp. shared) access of each thread in a warp is treated

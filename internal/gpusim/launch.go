@@ -29,6 +29,15 @@ type LaunchConfig struct {
 	// this flag is reported as an error. The minicuda launcher sets it
 	// automatically from the compiled program.
 	NoBarriers bool
+
+	// SchedSeed permutes the order in which a serial (NoBarriers) block
+	// executes its threads. Zero keeps the natural flattened-index order.
+	// Any thread ordering is a legal schedule for independent threads, so
+	// a kernel whose output changes with the seed has an order-dependent
+	// bug (a data race); the kernelcheck differential guard uses this to
+	// confirm statically-reported races at runtime. Results, traps, and
+	// cost accounting are unaffected for race-free kernels.
+	SchedSeed uint64
 }
 
 // Validate checks the configuration against the device limits.
@@ -647,9 +656,17 @@ func (d *Device) runBlock(bc *blockCtx, cfg LaunchConfig, k KernelFunc, aborted 
 		// second draw would alias carves already in use by earlier threads.
 		slabGBuf, slabSBuf := scr.slabG, scr.slabS
 		var ac allocCache // one goroutine runs the whole block: share the cache
-		for t := 0; t < threads; t++ {
+		var order []int
+		if cfg.SchedSeed != 0 {
+			order = schedOrder(threads, cfg.SchedSeed, uint64(bc.blockIdx.X)|uint64(bc.blockIdx.Y)<<21|uint64(bc.blockIdx.Z)<<42)
+		}
+		for i := 0; i < threads; i++ {
 			if aborted.Load() {
 				break
+			}
+			t := i
+			if order != nil {
+				t = order[i]
 			}
 			// backing[t] is freshly zeroed; set only the non-zero fields.
 			tc := &backing[t]
@@ -667,7 +684,7 @@ func (d *Device) runBlock(bc *blockCtx, cfg LaunchConfig, k KernelFunc, aborted 
 			// reallocates on append, leaving the slab untouched.
 			if hintG > 0 {
 				if len(slabG) < hintG {
-					need := hintG * (threads - t)
+					need := hintG * (threads - i)
 					if cap(slabGBuf) >= need {
 						slabG = slabGBuf[:need]
 					} else {
@@ -681,7 +698,7 @@ func (d *Device) runBlock(bc *blockCtx, cfg LaunchConfig, k KernelFunc, aborted 
 			}
 			if hintS > 0 {
 				if len(slabS) < hintS {
-					need := hintS * (threads - t)
+					need := hintS * (threads - i)
 					if cap(slabSBuf) >= need {
 						slabS = slabSBuf[:need]
 					} else {
@@ -695,7 +712,7 @@ func (d *Device) runBlock(bc *blockCtx, cfg LaunchConfig, k KernelFunc, aborted 
 			}
 			ctxs[t] = tc
 			runThread(tc)
-			if t == 0 {
+			if i == 0 {
 				hintG, hintS = len(tc.gEvents), len(tc.sEvents)
 			}
 		}
@@ -762,6 +779,30 @@ func (d *Device) collectBlock(bc *blockCtx, ctxs []*ThreadCtx, warpSize int) blo
 	res.divergence = bc.divergence
 	res.cycles = blockCycles(d.props, res)
 	return res
+}
+
+// schedOrder derives a deterministic permutation of [0,n) from the launch
+// seed and the block coordinate, via splitmix64-keyed Fisher-Yates. Each
+// block gets a different shuffle so inter-block patterns cannot mask an
+// intra-block race.
+func schedOrder(n int, seed, blockKey uint64) []int {
+	s := seed ^ 0x9e3779b97f4a7c15*(blockKey+1)
+	next := func() uint64 {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := int(next() % uint64(i+1))
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
 }
 
 // unflatten converts a linear index into a Dim3 coordinate within extent e,

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"webgpu/internal/kernelcheck"
 	"webgpu/internal/labs"
 )
 
@@ -37,6 +38,10 @@ type Grade struct {
 	OverrideBy   string    `json:"override_by,omitempty"`
 	Comment      string    `json:"comment,omitempty"`
 	GradedAt     time.Time `json:"graded_at"`
+
+	// Feedback is student-facing commentary attached alongside the score
+	// — today the static-analyzer findings for the submitted kernel.
+	Feedback []string `json:"feedback,omitempty"`
 }
 
 // Score applies a lab's rubric to the outcomes of a full submission run.
@@ -72,6 +77,16 @@ func Score(l *labs.Lab, source string, outcomes []*labs.Outcome, questionsAnswer
 	g.Questions = questionsAnswered * l.Rubric.QuestionPoints
 	g.Total = g.Compile + g.Datasets + g.Keywords + g.Questions
 	return g
+}
+
+// AttachDiagnostics appends the static analyzer's findings to the
+// grade's student-facing feedback, most severe first (the order Analyze
+// already guarantees within a position). Grading points are unaffected:
+// the analyzer informs, the rubric decides.
+func AttachDiagnostics(g *Grade, diags []kernelcheck.Diagnostic) {
+	for _, d := range diags {
+		g.Feedback = append(g.Feedback, d.String())
+	}
 }
 
 // Override replaces a grade's total with an instructor-assigned value and

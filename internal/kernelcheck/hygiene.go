@@ -1,0 +1,169 @@
+package kernelcheck
+
+import (
+	"fmt"
+
+	"webgpu/internal/minicuda"
+)
+
+// hygiene runs the purely syntactic pass over one function: unused
+// variables, dead stores (assigned but never read), and unreachable
+// statements after a return/break/continue.
+func hygiene(fn *minicuda.Function) []Diagnostic {
+	var diags []Diagnostic
+	emit := func(id string, tok minicuda.Token, msg, hint string) {
+		diags = append(diags, Diagnostic{
+			ID: id, Severity: SevInfo, Kernel: fn.Name, Pos: tok.Pos(), Message: msg, Hint: hint,
+		})
+	}
+
+	type useCount struct {
+		decl   minicuda.Token
+		name   string
+		reads  int
+		writes int
+		isArg  bool
+	}
+	counts := make(map[*minicuda.Symbol]*useCount)
+	var declOrder []*minicuda.Symbol
+	note := func(sym *minicuda.Symbol, tok minicuda.Token, name string, isArg bool) *useCount {
+		if sym == nil {
+			return nil
+		}
+		uc := counts[sym]
+		if uc == nil {
+			uc = &useCount{decl: tok, name: name, isArg: isArg}
+			counts[sym] = uc
+			declOrder = append(declOrder, sym)
+		}
+		return uc
+	}
+	for _, p := range fn.Params {
+		note(p.Sym, p.Tok(), p.Name, true)
+	}
+	walkNodes(fn.Body, func(n minicuda.Node) {
+		switch x := n.(type) {
+		case *minicuda.DeclStmt:
+			for _, d := range x.Decls {
+				note(d.Sym, d.Tok(), d.Name, false)
+			}
+		}
+	})
+
+	// Count reads and writes. An assignment's LHS VarRef is a write (a
+	// compound assignment also reads); every other VarRef occurrence,
+	// including an Index base, is a read.
+	writeTargets := make(map[minicuda.Node]bool)
+	compound := make(map[minicuda.Node]bool)
+	walkNodes(fn.Body, func(n minicuda.Node) {
+		switch x := n.(type) {
+		case *minicuda.Assign:
+			if vr, ok := x.L.(*minicuda.VarRef); ok {
+				writeTargets[vr] = true
+				if x.Op != "=" {
+					compound[vr] = true
+				}
+			}
+		case *minicuda.Unary:
+			if x.Op == "++" || x.Op == "--" {
+				if vr, ok := x.X.(*minicuda.VarRef); ok {
+					writeTargets[vr] = true
+					compound[vr] = true
+				}
+			}
+		case *minicuda.Postfix:
+			if vr, ok := x.X.(*minicuda.VarRef); ok {
+				writeTargets[vr] = true
+				compound[vr] = true
+			}
+		}
+	})
+	walkNodes(fn.Body, func(n minicuda.Node) {
+		vr, ok := n.(*minicuda.VarRef)
+		if !ok {
+			return
+		}
+		uc := counts[vr.Sym]
+		if uc == nil {
+			uc = note(vr.Sym, vr.Tok(), vr.Name, false)
+			if uc == nil {
+				return
+			}
+		}
+		if writeTargets[vr] {
+			uc.writes++
+			if compound[vr] {
+				uc.reads++
+			}
+		} else {
+			uc.reads++
+		}
+	})
+
+	for _, sym := range declOrder {
+		uc := counts[sym]
+		if uc.isArg {
+			continue // skeleton signatures are fixed by the lab harness
+		}
+		switch {
+		case uc.reads == 0 && uc.writes == 0:
+			emit(RuleUnused, uc.decl,
+				fmt.Sprintf("variable %q is declared but never used", uc.name),
+				"remove the declaration")
+		case uc.reads == 0 && uc.writes > 0:
+			emit(RuleDeadStore, uc.decl,
+				fmt.Sprintf("variable %q is assigned but its value is never read", uc.name),
+				"remove the variable or use the value it holds")
+		}
+	}
+
+	// Unreachable statements: anything after a statement that definitely
+	// transfers control out of the block.
+	var scan func(s minicuda.Stmt)
+	terminates := func(s minicuda.Stmt) bool {
+		var t func(s minicuda.Stmt) bool
+		t = func(s minicuda.Stmt) bool {
+			switch x := s.(type) {
+			case *minicuda.ReturnStmt, *minicuda.BreakStmt, *minicuda.ContinueStmt:
+				return true
+			case *minicuda.IfStmt:
+				return x.Else != nil && t(x.Then) && t(x.Else)
+			case *minicuda.Block:
+				for _, sub := range x.Stmts {
+					if t(sub) {
+						return true
+					}
+				}
+			}
+			return false
+		}
+		return t(s)
+	}
+	scan = func(s minicuda.Stmt) {
+		switch x := s.(type) {
+		case *minicuda.Block:
+			dead := false
+			for _, sub := range x.Stmts {
+				if dead {
+					if _, empty := sub.(*minicuda.EmptyStmt); !empty {
+						emit(RuleUnreachable, sub.Tok(),
+							"statement is unreachable", "remove it, or fix the control flow above")
+						return // one report per block is enough
+					}
+					continue
+				}
+				scan(sub)
+				dead = terminates(sub)
+			}
+		case *minicuda.IfStmt:
+			scan(x.Then)
+			scan(x.Else)
+		case *minicuda.ForStmt:
+			scan(x.Body)
+		case *minicuda.WhileStmt:
+			scan(x.Body)
+		}
+	}
+	scan(fn.Body)
+	return diags
+}

@@ -1,0 +1,93 @@
+package kernelcheck
+
+import (
+	"fmt"
+
+	"webgpu/internal/gpusim"
+	"webgpu/internal/minicuda"
+)
+
+// checkPerf emits performance advisories from the recorded accesses,
+// using the simulator's own cost-model constants so the advice matches
+// what the timing the student sees will charge.
+//
+// Both rules reason about the threadIdx.x coefficient of the flattened
+// index, under the warp model the simulator uses: warps are runs of 32
+// consecutive flattened thread ids, so for the common blockDim.x ≥ 32
+// layouts the lanes of a warp differ only in threadIdx.x.
+func (a *analyzer) checkPerf() {
+	cm := gpusim.CostParams()
+	seen := make(map[siteKey]bool)
+	for _, ac := range a.accesses {
+		if ac.wrapped || ac.idx == nil {
+			continue
+		}
+		key := site(ac.pos, ac.sym.Name)
+		if seen[key] {
+			continue
+		}
+		elemSize := elemSizeOf(ac.sym)
+		coeff, symbolic := ac.idx.threadCoeff(tdX)
+		switch ac.space {
+		case minicuda.SpaceGlobal:
+			if symbolic {
+				seen[key] = true
+				a.diag(RuleCoalesce, SevInfo, ac.pos,
+					fmt.Sprintf("%s strides global memory by a runtime value per threadIdx.x step; consecutive threads touch distant addresses",
+						ac.expr),
+					fmt.Sprintf("make threadIdx.x the fastest-varying index so a warp covers one %d-byte segment (%d cycles each)",
+						cm.SegmentBytes, cm.LatGlobalTx))
+				continue
+			}
+			strideBytes := abs64(coeff) * int64(elemSize)
+			if strideBytes == 0 {
+				continue // uniform broadcast
+			}
+			warp := int64(32)
+			segs := (warp*strideBytes + int64(cm.SegmentBytes) - 1) / int64(cm.SegmentBytes)
+			ideal := (warp*int64(elemSize) + int64(cm.SegmentBytes) - 1) / int64(cm.SegmentBytes)
+			if segs > ideal {
+				seen[key] = true
+				a.diag(RuleCoalesce, SevInfo, ac.pos,
+					fmt.Sprintf("%s has a %d-byte stride per threadIdx.x step: each warp access touches ~%d %d-byte segments instead of %d, costing %d cycles each",
+						ac.expr, strideBytes, segs, cm.SegmentBytes, ideal, cm.LatGlobalTx),
+					"reorder the index so consecutive threads read consecutive elements")
+			}
+		case minicuda.SpaceShared:
+			if symbolic || elemSize == 0 {
+				continue
+			}
+			byteStride := abs64(coeff) * int64(elemSize)
+			if byteStride == 0 || byteStride%int64(cm.BankWidthBytes) != 0 {
+				continue
+			}
+			wordStride := byteStride / int64(cm.BankWidthBytes)
+			degree := gcd64(wordStride, int64(cm.NumBanks))
+			if degree >= 2 {
+				seen[key] = true
+				a.diag(RuleBankConflict, SevInfo, ac.pos,
+					fmt.Sprintf("%s strides shared memory by %d words per threadIdx.x step: with %d banks this serializes into %d-way bank conflicts",
+						ac.expr, wordStride, cm.NumBanks, degree),
+					"swap the index order (or pad the row) so consecutive threads hit consecutive banks")
+			}
+		}
+	}
+}
+
+func elemSizeOf(sym *minicuda.Symbol) int {
+	if sym == nil || sym.Type == nil {
+		return 0
+	}
+	t := sym.Type
+	if t.IsPtr() {
+		return t.Elem.Size()
+	}
+	return t.ElemBase().Size()
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,12 @@
+// True positive: threads with i >= n return before the barrier.
+__global__ void earlyExit(float *in, float *out, int n) {
+  __shared__ float s[64];
+  int tx = threadIdx.x;
+  int i = blockIdx.x * blockDim.x + tx;
+  if (i >= n) {
+    return;
+  }
+  s[tx] = in[i];
+  __syncthreads();
+  out[i] = s[tx];
+}

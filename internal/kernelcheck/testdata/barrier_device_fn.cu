@@ -1,0 +1,13 @@
+// True positive: the barrier hides inside a device function; calling it
+// under a thread-dependent condition is still divergent.
+__device__ void settle() {
+  __syncthreads();
+}
+
+__global__ void viafn(float *in, float *out, int n) {
+  int tx = threadIdx.x;
+  if (tx < 8) {
+    settle();
+  }
+  out[tx] = in[tx];
+}

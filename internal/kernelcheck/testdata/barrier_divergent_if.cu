@@ -1,0 +1,11 @@
+// True positive: the barrier only executes for threads with tx < 8.
+__global__ void halfSync(float *in, float *out, int n) {
+  int tx = threadIdx.x;
+  int i = blockIdx.x * blockDim.x + tx;
+  if (tx < 8) {
+    __syncthreads();
+  }
+  if (i < n) {
+    out[i] = in[i];
+  }
+}

@@ -1,0 +1,11 @@
+// True positive: the loop trip count depends on threadIdx, so threads
+// reach the barrier different numbers of times.
+__global__ void ragged(float *in, float *out, int n) {
+  int tx = threadIdx.x;
+  float acc = 0.0f;
+  for (int i = 0; i < tx; i = i + 1) {
+    acc = acc + in[i];
+    __syncthreads();
+  }
+  out[tx] = acc;
+}

@@ -1,0 +1,13 @@
+// Hygiene: the statement after break never executes.
+__global__ void bail(float *in, float *out, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  float acc = 0.0f;
+  for (int k = 0; k < 8; k = k + 1) {
+    if (in[k] < 0.0f) {
+      break;
+      acc = 0.0f;
+    }
+    acc = acc + in[k];
+  }
+  out[i] = acc;
+}

@@ -1,0 +1,10 @@
+// Hygiene: scale is read (so not unused), but halfn is never touched
+// after its declaration.
+__global__ void halfuse(float *in, float *out, int n) {
+  int halfn;
+  float scale = 0.5f;
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    out[i] = in[i] * scale;
+  }
+}

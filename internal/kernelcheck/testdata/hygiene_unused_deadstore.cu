@@ -1,0 +1,12 @@
+// Hygiene: an unused variable, a dead store, and unreachable code.
+__global__ void sloppy(float *in, float *out, int n) {
+  int unused;
+  int dead = 7;
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  dead = 9;
+  if (i < n) {
+    out[i] = in[i];
+    return;
+    out[i] = 0.0f;
+  }
+}

@@ -1,0 +1,10 @@
+// Known limitation (false negative): the race pass only models shared
+// memory. If the host passes the same buffer for in and out, the
+// neighbor read in[i + 1] races with the write out[i] — the checker
+// cannot see pointer aliasing and stays silent.
+__global__ void maybealias(float *in, float *out, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i + 1 < n) {
+    out[i] = in[i + 1];
+  }
+}

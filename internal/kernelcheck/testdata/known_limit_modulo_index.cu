@@ -1,0 +1,9 @@
+// Known limitation (weak verdict): (tx + 1) % 16 is not affine, so the
+// checker loses the index and can only report a may-race, even though
+// the wrap-around neighbor read is a real race.
+__global__ void ring(float *in, float *out, int n) {
+  __shared__ float s[16];
+  int tx = threadIdx.x;
+  s[tx] = in[tx];
+  out[tx] = s[(tx + 1) % 16];
+}

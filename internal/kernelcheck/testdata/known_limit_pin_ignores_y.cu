@@ -1,0 +1,13 @@
+// Known limitation (false negative): both accesses to s[0] happen under
+// threadIdx.x == 0, and the pin signature treats them as the same
+// thread — but with blockDim.y > 1 there is one such thread per row and
+// the write-write pair is a real race. The checker stays silent.
+__global__ void pinned(float *in, float *out, int n) {
+  __shared__ float s[1];
+  int ty = threadIdx.y;
+  if (threadIdx.x == 0) {
+    s[0] = in[ty];
+  }
+  __syncthreads();
+  out[ty] = s[0];
+}

@@ -1,0 +1,12 @@
+// Known limitation (false positive): the two-phase fill s[tx] and
+// s[tx + 32] is safe when blockDim.x == 32, but the checker does not
+// know the launch geometry — with a larger block the ranges genuinely
+// overlap, so it reports the constant-offset pair as a race.
+__global__ void splitfill(float *in, float *out, int n) {
+  __shared__ float s[64];
+  int tx = threadIdx.x;
+  s[tx] = in[tx];
+  s[tx + 32] = in[tx + 32];
+  __syncthreads();
+  out[tx] = s[tx] + s[tx + 32];
+}

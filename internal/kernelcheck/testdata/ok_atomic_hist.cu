@@ -1,0 +1,12 @@
+// True negative: a shared-memory histogram built entirely from
+// atomicAdd. Atomic-atomic pairs never race, and the barrier separates
+// the accumulation from the read-out.
+__global__ void hist(int *in, int *out, int n) {
+  __shared__ int bins[16];
+  int tx = threadIdx.x;
+  bins[tx] = 0;
+  __syncthreads();
+  atomicAdd(&bins[in[tx] % 16], 1);
+  __syncthreads();
+  out[tx] = bins[tx];
+}

@@ -1,0 +1,14 @@
+// True negative: the condition is uniform across the block (it only
+// reads a kernel parameter), so every thread takes the same side and the
+// barrier is safe.
+__global__ void uniformif(float *in, float *out, int n) {
+  __shared__ float s[64];
+  int tx = threadIdx.x;
+  s[tx] = in[tx];
+  if (n > 64) {
+    __syncthreads();
+    out[tx] = s[63 - tx];
+  } else {
+    out[tx] = s[tx];
+  }
+}

@@ -1,0 +1,10 @@
+// True negative: every thread of a warp reads the same shared cell
+// (threadIdx.x coefficient zero) — a broadcast, not a bank conflict.
+__global__ void bcast(float *in, float *out, int n) {
+  __shared__ float row[16];
+  int tx = threadIdx.x;
+  int ty = threadIdx.y;
+  row[tx] = in[tx];
+  __syncthreads();
+  out[ty * 16 + tx] = row[ty];
+}

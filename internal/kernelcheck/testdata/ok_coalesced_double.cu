@@ -1,0 +1,9 @@
+// True negative: unit-stride double accesses. Each warp covers two
+// 128-byte segments, which is the ideal for 8-byte elements — no
+// advisory.
+__global__ void dcopy(double *in, double *out, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    out[i] = in[i];
+  }
+}

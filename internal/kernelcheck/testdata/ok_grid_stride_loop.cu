@@ -1,0 +1,9 @@
+// True negative: the canonical grid-stride loop. The step is a runtime
+// value, so the checker havocs the induction variable and proves
+// nothing — and has nothing to complain about either.
+__global__ void gridstride(float *in, float *out, int n) {
+  int stride = blockDim.x * gridDim.x;
+  for (int i = blockIdx.x * blockDim.x + threadIdx.x; i < n; i = i + stride) {
+    out[i] = in[i] * 2.0f;
+  }
+}

@@ -1,0 +1,9 @@
+// True negative: guarded OpenCL vector add. get_global_id flattens to
+// threadIdx.x plus an opaque group offset; everything stays in range.
+__kernel void vadd(__global const float *a, __global const float *b,
+                   __global float *c, int n) {
+  int i = get_global_id(0);
+  if (i < n) {
+    c[i] = a[i] + b[i];
+  }
+}

@@ -1,0 +1,18 @@
+// True negative: the classic tree reduction. Writers (tx < s) stay below
+// s while readers reach [s, 2s); the ranges are disjoint, and the barrier
+// separates iterations.
+__global__ void reduce(float *in, float *out, int n) {
+  __shared__ float s[64];
+  int tx = threadIdx.x;
+  s[tx] = in[blockIdx.x * blockDim.x + tx];
+  __syncthreads();
+  for (int stride = 32; stride > 0; stride = stride / 2) {
+    if (tx < stride) {
+      s[tx] = s[tx] + s[tx + stride];
+    }
+    __syncthreads();
+  }
+  if (tx == 0) {
+    out[blockIdx.x] = s[0];
+  }
+}

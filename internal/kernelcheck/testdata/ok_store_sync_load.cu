@@ -1,0 +1,9 @@
+// True negative: the same neighbor exchange with the barrier in place.
+__global__ void shift(float *in, float *out, int n) {
+  __shared__ float s[16];
+  int tx = threadIdx.x;
+  int i = blockIdx.x * blockDim.x + tx;
+  s[tx] = in[i];
+  __syncthreads();
+  out[i] = s[(tx + 1) % 16];
+}

@@ -1,0 +1,8 @@
+// True negative: a clamped ternary index. The two arms differ, so the
+// checker drops to "unknown" — conservatively silent.
+__global__ void clamp(float *in, float *out, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    out[i] = in[i > 0 ? i - 1 : 0];
+  }
+}

@@ -1,0 +1,20 @@
+// True negative: the same tiled multiply with both barriers.
+__global__ void matmul(float *a, float *b, float *out, int n) {
+  __shared__ float sa[16][16];
+  __shared__ float sb[16][16];
+  int tx = threadIdx.x;
+  int ty = threadIdx.y;
+  int row = blockIdx.y * 16 + ty;
+  int col = blockIdx.x * 16 + tx;
+  float acc = 0.0f;
+  for (int m = 0; m < n / 16; m++) {
+    sa[ty][tx] = a[row * n + m * 16 + tx];
+    sb[ty][tx] = b[(m * 16 + ty) * n + col];
+    __syncthreads();
+    for (int k = 0; k < 16; k++) {
+      acc = acc + sa[ty][k] * sb[k][tx];
+    }
+    __syncthreads();
+  }
+  out[row * n + col] = acc;
+}

@@ -1,0 +1,11 @@
+// True negative: accesses to different shared variables never pair in
+// the race check, and the barrier splits the write and read phases.
+__global__ void pingpong(float *in, float *out, int n) {
+  __shared__ float ping[32];
+  __shared__ float pong[32];
+  int tx = threadIdx.x;
+  ping[tx] = in[tx];
+  pong[tx] = in[tx + 32];
+  __syncthreads();
+  out[tx] = ping[tx] + pong[31 - tx];
+}

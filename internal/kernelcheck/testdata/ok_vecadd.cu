@@ -1,0 +1,7 @@
+// True negative: the reference vector-add kernel. No diagnostics.
+__global__ void vecAdd(float *in1, float *in2, float *out, int len) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < len) {
+    out[i] = in1[i] + in2[i];
+  }
+}

@@ -1,0 +1,11 @@
+// True positive (warn): reading a[32 + tx] overruns a[32] but lands in
+// b, the next variable in the shared arena — no trap, just wrong data.
+__global__ void spill(float *in, float *out, int n) {
+  __shared__ float a[32];
+  __shared__ float b[32];
+  int tx = threadIdx.x;
+  a[tx] = in[tx];
+  b[tx] = in[32 + tx];
+  __syncthreads();
+  out[tx] = a[32 + tx];
+}

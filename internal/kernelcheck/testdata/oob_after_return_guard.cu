@@ -1,0 +1,10 @@
+// True positive: the early return guards the top end only; in[i - 1]
+// still reaches -1 on global thread 0 and traps.
+//GUARD: expect=trap kernel=shiftdown grid=2 block=8 n=16
+__global__ void shiftdown(float *in, float *out, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i >= n) {
+    return;
+  }
+  out[i] = in[i - 1];
+}

@@ -1,0 +1,11 @@
+// True positive (warn): tile[2][17] is inside the flat 16x16 arena but
+// column 17 does not exist — the access lands in row 3, the classic
+// transposed-tile indexing bug.
+__global__ void wrongrow(float *in, float *out, int n) {
+  __shared__ float tile[16][16];
+  int tx = threadIdx.x;
+  int ty = threadIdx.y;
+  tile[ty][tx] = in[ty * 16 + tx];
+  __syncthreads();
+  out[ty * 16 + tx] = tile[2][17];
+}

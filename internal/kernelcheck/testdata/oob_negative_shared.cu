@@ -1,0 +1,9 @@
+// True positive: s[tx - 1] reaches arena offset -4 on thread 0; shared
+// loads below the arena trap.
+//GUARD: expect=trap kernel=neg grid=1 block=16 n=16
+__global__ void neg(float *in, float *out, int n) {
+  __shared__ float s[16];
+  int tx = threadIdx.x;
+  s[tx] = in[tx];
+  out[tx] = s[tx - 1];
+}

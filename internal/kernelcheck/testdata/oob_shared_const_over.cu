@@ -1,0 +1,15 @@
+// True positive: a constant-trip loop sums 40 elements of a 32-element
+// shared array. The top of the walk runs past the whole shared arena, so
+// the device traps.
+//GUARD: expect=trap kernel=sumover grid=1 block=32 n=32
+__global__ void sumover(float *in, float *out, int n) {
+  __shared__ float s[32];
+  int tx = threadIdx.x;
+  s[tx] = in[blockIdx.x * blockDim.x + tx];
+  __syncthreads();
+  float acc = 0.0f;
+  for (int i = 0; i < 40; i = i + 1) {
+    acc = acc + s[i];
+  }
+  out[blockIdx.x * blockDim.x + tx] = acc;
+}

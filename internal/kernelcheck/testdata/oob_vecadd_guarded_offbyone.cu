@@ -1,0 +1,8 @@
+// The same off-by-one behind the usual guard: the guard does not fix the
+// minimum, but the branch may exclude it, so this is only a possible OOB.
+__global__ void vecShift(float *in, float *out, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    out[i] = in[i - 1];
+  }
+}

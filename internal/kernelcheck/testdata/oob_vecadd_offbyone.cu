@@ -1,0 +1,6 @@
+// True positive: unguarded i-1 reaches -1 on block 0 / thread 0 and traps.
+//GUARD: expect=trap kernel=vecShift grid=2 block=8 n=16
+__global__ void vecShift(float *in, float *out, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  out[i] = in[i - 1];
+}

@@ -1,0 +1,9 @@
+// True positive: barrier() under a work-item-dependent condition is a
+// divergence hazard in OpenCL exactly as __syncthreads is in CUDA.
+__kernel void half(__global float *out, int n) {
+  int lid = get_local_id(0);
+  if (lid < 32) {
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  out[get_global_id(0)] = 1.0f;
+}

@@ -1,0 +1,10 @@
+// True positive: OpenCL __local neighbor race — no barrier between the
+// store to scratch[lid] and the load of scratch[lid + 1].
+//GUARD: expect=nondet kernel=blur grid=1 block=64 n=64
+__kernel void blur(__global const float *in, __global float *out, int n) {
+  __local float scratch[65];
+  int lid = get_local_id(0);
+  int gid = get_global_id(0);
+  scratch[lid] = in[gid];
+  out[gid] = scratch[lid + 1];
+}

@@ -1,0 +1,10 @@
+// Advisory: column-major shared access with a 16-wide tile serializes
+// into 16-way bank conflicts.
+__global__ void colsum(float *in, float *out, int n) {
+  __shared__ float tile[16][16];
+  int tx = threadIdx.x;
+  int ty = threadIdx.y;
+  tile[ty][tx] = in[ty * 16 + tx];
+  __syncthreads();
+  out[ty * 16 + tx] = tile[tx][ty];
+}

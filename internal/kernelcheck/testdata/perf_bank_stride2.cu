@@ -1,0 +1,9 @@
+// True positive (advisory): a stride of two words maps 32 threads onto
+// 16 banks — a 2-way conflict, the mildest case the checker reports.
+__global__ void stride2(float *in, float *out, int n) {
+  __shared__ float s[64];
+  int tx = threadIdx.x;
+  s[tx] = in[tx];
+  __syncthreads();
+  out[tx] = s[tx * 2];
+}

@@ -1,0 +1,11 @@
+// True positive (advisory): walking a 32-wide row-major matrix down a
+// column puts a 128-byte stride between consecutive threads — every lane
+// of a warp touches its own memory segment.
+__global__ void coldown(float *in, float *out, int n) {
+  int tx = threadIdx.x;
+  float acc = 0.0f;
+  for (int i = 0; i < 32; i = i + 1) {
+    acc = acc + in[tx * 32 + i];
+  }
+  out[tx] = acc;
+}

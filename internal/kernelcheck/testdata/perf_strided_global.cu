@@ -1,0 +1,7 @@
+// Advisory: stride-2 global reads double the warp's segment count.
+__global__ void gather(float *in, float *out, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    out[i] = in[i * 2];
+  }
+}

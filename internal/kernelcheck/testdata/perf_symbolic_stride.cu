@@ -1,0 +1,6 @@
+// True positive (advisory): the stride per threadIdx.x step is a runtime
+// value, so consecutive threads land arbitrarily far apart.
+__global__ void colread(float *in, float *out, int n) {
+  int tx = threadIdx.x;
+  out[tx] = in[tx * n];
+}

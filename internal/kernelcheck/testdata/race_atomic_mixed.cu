@@ -1,0 +1,9 @@
+// True positive: an atomicAdd and a plain store to the same shared cell
+// still race — atomics only serialize against other atomics.
+__global__ void mixed(int *in, int *out, int n) {
+  __shared__ int count[1];
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  count[0] = 0;
+  atomicAdd(&count[0], in[i]);
+  out[i] = count[0];
+}

@@ -1,0 +1,9 @@
+// True positive: thread t reads the element thread t-2 writes with no
+// barrier in between; the constant offset makes the race provable.
+//GUARD: expect=nondet kernel=lag grid=1 block=16 n=16
+__global__ void lag(float *in, float *out, int n) {
+  __shared__ float s[18];
+  int tx = threadIdx.x;
+  s[tx + 2] = in[tx];
+  out[tx] = s[tx];
+}

@@ -1,0 +1,10 @@
+// True positive: thread t reads the element thread t+1 writes, with no
+// barrier between. Provable race; output depends on execution order.
+//GUARD: expect=nondet kernel=shift grid=1 block=16 n=16
+__global__ void shift(float *in, float *out, int n) {
+  __shared__ float s[17];
+  int tx = threadIdx.x;
+  int i = blockIdx.x * blockDim.x + tx;
+  s[tx] = in[i];
+  out[i] = s[tx + 1];
+}

@@ -1,0 +1,20 @@
+// True positive: tiled multiply missing the second __syncthreads. The
+// next iteration's tile store races with this iteration's reads.
+__global__ void matmul(float *a, float *b, float *out, int n) {
+  __shared__ float sa[16][16];
+  __shared__ float sb[16][16];
+  int tx = threadIdx.x;
+  int ty = threadIdx.y;
+  int row = blockIdx.y * 16 + ty;
+  int col = blockIdx.x * 16 + tx;
+  float acc = 0.0f;
+  for (int m = 0; m < n / 16; m++) {
+    sa[ty][tx] = a[row * n + m * 16 + tx];
+    sb[ty][tx] = b[(m * 16 + ty) * n + col];
+    __syncthreads();
+    for (int k = 0; k < 16; k++) {
+      acc = acc + sa[ty][k] * sb[k][tx];
+    }
+  }
+  out[row * n + col] = acc;
+}

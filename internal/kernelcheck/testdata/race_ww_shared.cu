@@ -1,0 +1,10 @@
+// True positive: every thread writes s[0] with its own value — a
+// write-write race on one cell. (Not guard-runnable: in the simulator's
+// serial mode each thread also reads back its own write immediately, so
+// the output is order-independent even though the race is real.)
+__global__ void lastwins(float *in, float *out, int n) {
+  __shared__ float s[1];
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  s[0] = in[i];
+  out[i] = s[0];
+}

@@ -160,7 +160,7 @@ type bcFunc struct {
 	name             string
 	entry            int32
 	numI, numF, numP int32 // window sizes (vars + temp watermark)
-	params           []loc  // home registers of the parameters, in order
+	params           []loc // home registers of the parameters, in order
 	ret              *Type
 	retBank          uint8
 
@@ -227,16 +227,16 @@ type patch struct {
 }
 
 type lowerer struct {
-	prog    *Program
-	bc      *bytecodeProgram
-	fn      *bcFunc
-	pend    int
+	prog             *Program
+	bc               *bytecodeProgram
+	fn               *bcFunc
+	pend             int
 	tI, tF, tP       int32 // next free temp per bank
 	maxI, maxF, maxP int32
-	labels  []int32
-	patches []patch
-	brk     []int // break label stack
-	cont    []int // continue label stack
+	labels           []int32
+	patches          []patch
+	brk              []int // break label stack
+	cont             []int // continue label stack
 }
 
 // lowerProgram compiles every function of an analyzed program. It returns

@@ -107,6 +107,7 @@ type LaunchOpts struct {
 	SharedMemBytes int    // dynamic shared memory, beyond static __shared__
 	MaxSteps       int64  // per-thread interpreter step budget; 0 = default
 	Engine         Engine // execution engine; EngineAuto honors MINICUDA_INTERP
+	SchedSeed      uint64 // serial-path thread-order permutation seed; 0 = natural order
 }
 
 // DefaultMaxSteps bounds per-thread interpretation; it corresponds to the
@@ -154,6 +155,7 @@ func (p *Program) Launch(dev *gpusim.Device, kernel string, opts LaunchOpts, arg
 		Block:          opts.Block,
 		SharedMemBytes: fn.SharedUse + opts.SharedMemBytes,
 		NoBarriers:     !p.usesBarrier,
+		SchedSeed:      opts.SchedSeed,
 	}
 	eng := opts.Engine
 	if eng == EngineAuto {

@@ -53,8 +53,22 @@ func (s Status) Render() string {
 	fmt.Fprintf(&sb, "gradebook rows: %d\n", s.GradebookRows)
 	fmt.Fprintf(&sb, "prog cache:     %d hits, %d misses, %d coalesced, %d evicted, %d cached\n",
 		s.ProgCache.Hits, s.ProgCache.Misses, s.ProgCache.Coalesced, s.ProgCache.Evictions, s.ProgCache.Size)
-	fmt.Fprintf(&sb, "prog artifacts: %d bytecode hits, %d ast hits, %d bytecode bytes cached\n",
-		s.ProgCache.HitsBytecode, s.ProgCache.HitsAST, s.ProgCache.BytecodeBytes)
+	// Enumerate every artifact kind the cache can serve, zeros included:
+	// a kind that never appears on the dashboard cannot be told apart
+	// from one that was never wired up.
+	hitsByKind := map[string]int64{
+		"ast":         s.ProgCache.HitsAST,
+		"bytecode":    s.ProgCache.HitsBytecode,
+		"diagnostics": s.ProgCache.HitsDiagnostics,
+	}
+	parts := make([]string, 0, len(hitsByKind))
+	for _, kind := range progcache.ArtifactKinds() {
+		parts = append(parts, fmt.Sprintf("%d %s hits", hitsByKind[kind], kind))
+	}
+	fmt.Fprintf(&sb, "prog artifacts: %s, %d bytecode bytes cached\n",
+		strings.Join(parts, ", "), s.ProgCache.BytecodeBytes)
+	fmt.Fprintf(&sb, "kernelcheck:    %d analyses, %d diagnostic hits\n",
+		s.ProgCache.Analyzes, s.ProgCache.HitsDiagnostics)
 	if s.BrokerStats != "" {
 		fmt.Fprintf(&sb, "broker backlog: %d (standby mirror depth %d)\n", s.BrokerBacklog, s.StandbyDepth)
 		fmt.Fprintf(&sb, "broker stats:   %s\n", s.BrokerStats)

@@ -19,6 +19,7 @@ import (
 	"encoding/hex"
 	"sync"
 
+	"webgpu/internal/kernelcheck"
 	"webgpu/internal/metrics"
 	"webgpu/internal/minicuda"
 )
@@ -52,16 +53,23 @@ const DefaultCapacity = 4096
 
 // Stats is a point-in-time snapshot of the cache counters.
 type Stats struct {
-	Hits          int64 // served from the cache
-	HitsAST       int64 // hits on programs executed by the tree walker
-	HitsBytecode  int64 // hits on programs carrying a bytecode artifact
-	Misses        int64 // had to compile
-	Coalesced     int64 // waited on a concurrent identical compile
-	Evictions     int64 // entries dropped by the LRU bound
-	Compiles      int64 // underlying compile executions (== Misses)
-	Size          int   // entries currently cached
-	BytecodeBytes int64 // lowered-bytecode bytes held by cached entries
+	Hits            int64 // served from the cache
+	HitsAST         int64 // hits on programs executed by the tree walker
+	HitsBytecode    int64 // hits on programs carrying a bytecode artifact
+	HitsDiagnostics int64 // diagnostics served without re-analysis
+	Misses          int64 // had to compile
+	Coalesced       int64 // waited on a concurrent identical compile
+	Evictions       int64 // entries dropped by the LRU bound
+	Compiles        int64 // underlying compile executions (== Misses)
+	Analyzes        int64 // kernelcheck runs (first request per entry)
+	Size            int   // entries currently cached
+	BytecodeBytes   int64 // lowered-bytecode bytes held by cached entries
 }
+
+// ArtifactKinds enumerates every per-kind hit counter the cache can
+// emit, so dashboards and metric registration see the full set up front
+// instead of series appearing lazily on first hit.
+func ArtifactKinds() []string { return []string{"ast", "bytecode", "diagnostics"} }
 
 type entry struct {
 	key     string
@@ -69,6 +77,11 @@ type entry struct {
 	err     error
 	elem    *list.Element
 	bcBytes int64 // bytecode artifact size, counted into Stats.BytecodeBytes
+
+	// Diagnostics are a derived artifact, computed on first request and
+	// then served from the entry like the program itself.
+	diagsOnce sync.Once
+	diags     []kernelcheck.Diagnostic
 }
 
 // flight is one in-progress compile that concurrent callers wait on.
@@ -102,6 +115,14 @@ var Default = New(DefaultCapacity, nil)
 // (capacity <= 0 means unbounded). When reg is non-nil the cache mirrors
 // its counters into it under progcache_* names.
 func New(capacity int, reg *metrics.Registry) *Cache {
+	if reg != nil {
+		// Register every artifact-kind series at zero immediately: a
+		// dashboard scraping a fresh worker sees the complete set rather
+		// than series popping into existence at their first hit.
+		for _, kind := range ArtifactKinds() {
+			reg.Inc("progcache_hits_"+kind, 0)
+		}
+	}
 	return &Cache{
 		capacity: capacity,
 		entries:  map[string]*entry{},
@@ -203,6 +224,56 @@ func (c *Cache) CompileStatus(src string, dialect minicuda.Dialect) (*minicuda.P
 	f.prog, f.err = prog, err
 	close(f.done)
 	return prog, Miss, err
+}
+
+// Diagnostics returns the kernelcheck analysis for the source,
+// compiling it first if needed. The diagnostic slice is a derived
+// artifact cached on the program's entry: analysis runs once per
+// distinct (source, dialect) and every later call is a hit. The
+// returned slice is shared — callers must not mutate it.
+func (c *Cache) Diagnostics(src string, dialect minicuda.Dialect) ([]kernelcheck.Diagnostic, error) {
+	// Entry-first lookup: a pipeline that just compiled this source must
+	// not count a second cache hit (the worker's compile and analysis
+	// stages would otherwise double every hit counter).
+	key := Key(src, dialect)
+	c.mu.Lock()
+	e := c.entries[key]
+	c.mu.Unlock()
+	if e == nil {
+		prog, _, err := c.CompileStatus(src, dialect)
+		if err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		e = c.entries[key]
+		c.mu.Unlock()
+		if e == nil || e.prog != prog {
+			// Evicted (or replaced) between compile and lookup: analyze
+			// without caching. Rare — only under heavy LRU churn.
+			c.mu.Lock()
+			c.stats.Analyzes++
+			c.mu.Unlock()
+			return kernelcheck.Analyze(prog), nil
+		}
+	}
+	if e.err != nil {
+		return nil, e.err
+	}
+
+	first := false
+	e.diagsOnce.Do(func() {
+		first = true
+		e.diags = kernelcheck.Analyze(e.prog)
+	})
+	c.mu.Lock()
+	if first {
+		c.stats.Analyzes++
+	} else {
+		c.stats.HitsDiagnostics++
+		c.inc("progcache_hits_diagnostics")
+	}
+	c.mu.Unlock()
+	return e.diags, nil
 }
 
 // Stats snapshots the counters.

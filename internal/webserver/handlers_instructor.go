@@ -269,6 +269,37 @@ func (s *Server) handleAssignReviews(w http.ResponseWriter, r *http.Request, u *
 	})
 }
 
+// handleSetAnalysisPolicy lets an instructor choose, per lab, what the
+// worker does with static-analysis findings: attach them as warnings
+// (the default), block execution on provable bugs (fail-fast), or skip
+// the analyzer.
+func (s *Server) handleSetAnalysisPolicy(w http.ResponseWriter, r *http.Request, u *User) {
+	l := s.labFromPath(w, r)
+	if l == nil {
+		return
+	}
+	var req struct {
+		Policy string `json:"policy"`
+	}
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, ErrCodeBadRequest, "%v", err)
+		return
+	}
+	if err := s.SetAnalysisPolicy(l.ID, req.Policy); err != nil {
+		writeErr(w, http.StatusBadRequest, ErrCodeBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"lab": l.ID, "policy": s.AnalysisPolicy(l.ID)})
+}
+
+func (s *Server) handleGetAnalysisPolicy(w http.ResponseWriter, r *http.Request, u *User) {
+	l := s.labFromPath(w, r)
+	if l == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"lab": l.ID, "policy": s.AnalysisPolicy(l.ID)})
+}
+
 func (s *Server) handleExport(w http.ResponseWriter, r *http.Request, u *User) {
 	book, ok := s.gradebook.(*grader.CourseraBook)
 	if !ok {

@@ -132,17 +132,18 @@ func (s *Server) handleGetLab(w http.ResponseWriter, r *http.Request, u *User) {
 		datasets[i] = fmt.Sprintf("Dataset %d", i)
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"id":             l.ID,
-		"name":           l.Name,
-		"description_md": l.Description,
-		"description":    markdown.Render(l.Description),
-		"code":           s.loadSource(u.ID, l),
-		"skeleton":       l.Skeleton,
-		"datasets":       datasets,
-		"questions":      l.Questions,
-		"dialect":        l.Dialect.String(),
-		"rubric":         l.Rubric,
-		"max_points":     l.MaxPoints(),
+		"id":              l.ID,
+		"name":            l.Name,
+		"description_md":  l.Description,
+		"description":     markdown.Render(l.Description),
+		"code":            s.loadSource(u.ID, l),
+		"skeleton":        l.Skeleton,
+		"datasets":        datasets,
+		"questions":       l.Questions,
+		"dialect":         l.Dialect.String(),
+		"rubric":          l.Rubric,
+		"max_points":      l.MaxPoints(),
+		"analysis_policy": s.AnalysisPolicy(l.ID),
 	})
 }
 
@@ -294,13 +295,14 @@ func (s *Server) startTrace(w http.ResponseWriter, r *http.Request) (context.Con
 func (s *Server) runJob(ctx context.Context, u *User, l *labs.Lab, source string, datasetID int) (*worker.Result, error) {
 	tr := trace.FromContext(ctx)
 	job := &worker.Job{
-		ID:           s.newID("job"),
-		LabID:        l.ID,
-		UserID:       u.ID,
-		Source:       source,
-		DatasetID:    datasetID,
-		Requirements: l.Requirements,
-		TraceID:      tr.ID(),
+		ID:             s.newID("job"),
+		LabID:          l.ID,
+		UserID:         u.ID,
+		Source:         source,
+		DatasetID:      datasetID,
+		Requirements:   l.Requirements,
+		TraceID:        tr.ID(),
+		AnalysisPolicy: s.AnalysisPolicy(l.ID),
 	}
 	sp := tr.StartSpan("dispatch", "job", job.ID, "lab", l.ID)
 	res, err := s.dispatch.Dispatch(ctx, job)
@@ -369,13 +371,14 @@ func (s *Server) handleAttempt(w http.ResponseWriter, r *http.Request, u *User) 
 		return
 	}
 	att := AttemptRec{
-		ID:        s.newID("att"),
-		UserID:    u.ID,
-		LabID:     l.ID,
-		DatasetID: datasetID,
-		Source:    source,
-		At:        s.clock(),
-		TraceID:   res.TraceID,
+		ID:          s.newID("att"),
+		UserID:      u.ID,
+		LabID:       l.ID,
+		DatasetID:   datasetID,
+		Source:      source,
+		At:          s.clock(),
+		TraceID:     res.TraceID,
+		Diagnostics: res.Diagnostics,
 	}
 	if len(res.Outcomes) > 0 {
 		att.Outcome = res.Outcomes[0]
@@ -490,17 +493,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, u *User) {
 
 	gradeSpan := tr.StartSpan("grade")
 	g := grader.Score(l, source, res.Outcomes, answered)
+	grader.AttachDiagnostics(g, res.Diagnostics)
 	gradeSpan.EndAttrs("total", strconv.Itoa(g.Total), "max", strconv.Itoa(g.Max))
 	g.UserID = u.ID
 	sub := SubmissionRec{
-		ID:       s.newID("sub"),
-		UserID:   u.ID,
-		LabID:    l.ID,
-		Source:   source,
-		Outcomes: res.Outcomes,
-		Grade:    g,
-		At:       s.clock(),
-		TraceID:  res.TraceID,
+		ID:              s.newID("sub"),
+		UserID:          u.ID,
+		LabID:           l.ID,
+		Source:          source,
+		Outcomes:        res.Outcomes,
+		Grade:           g,
+		At:              s.clock(),
+		TraceID:         res.TraceID,
+		Diagnostics:     res.Diagnostics,
+		AnalysisBlocked: res.AnalysisBlocked,
 	}
 	g.SubmissionID = sub.ID
 	if dl, ok := s.deadlines[l.ID]; ok && sub.At.After(dl) {

@@ -17,11 +17,13 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"webgpu/internal/db"
 	"webgpu/internal/grader"
+	"webgpu/internal/kernelcheck"
 	"webgpu/internal/labs"
 	"webgpu/internal/metrics"
 	"webgpu/internal/peerreview"
@@ -91,6 +93,12 @@ type Server struct {
 	metrics   *metrics.Registry
 	traces    *trace.Store
 	queue     QueueAdmin
+
+	// policies maps lab ID → analysis policy (worker.Analysis*). Unlike
+	// deadlines (set once at course setup), instructors flip these at
+	// runtime through the API, so access is mutex-guarded.
+	polMu    sync.RWMutex
+	policies map[string]string
 }
 
 // New builds a server.
@@ -122,6 +130,7 @@ func New(cfg Config) *Server {
 		limiter:   sandbox.NewRateLimiter(cfg.Limits.SubmitInterval),
 		clock:     cfg.Clock,
 		deadlines: map[string]time.Time{},
+		policies:  map[string]string{},
 		metrics:   cfg.Metrics,
 		traces:    cfg.Traces,
 		queue:     cfg.Queue,
@@ -135,6 +144,37 @@ func New(cfg Config) *Server {
 // SetDeadline configures a lab's deadline; attempts may be shared publicly
 // only after it passes (§IV-B), and submissions after it are flagged.
 func (s *Server) SetDeadline(labID string, t time.Time) { s.deadlines[labID] = t }
+
+// SetAnalysisPolicy configures what the worker does with static-analysis
+// findings for a lab's jobs: worker.AnalysisWarn (the default — attach
+// diagnostics, never block), worker.AnalysisFailFast (provable bugs
+// block execution), or worker.AnalysisOff. An empty policy resets the
+// lab to the default.
+func (s *Server) SetAnalysisPolicy(labID, policy string) error {
+	if !worker.ValidAnalysisPolicy(policy) {
+		return fmt.Errorf("webserver: unknown analysis policy %q (want %q, %q, or %q)",
+			policy, worker.AnalysisWarn, worker.AnalysisFailFast, worker.AnalysisOff)
+	}
+	s.polMu.Lock()
+	defer s.polMu.Unlock()
+	if policy == "" {
+		delete(s.policies, labID)
+		return nil
+	}
+	s.policies[labID] = policy
+	return nil
+}
+
+// AnalysisPolicy reports a lab's configured analysis policy (the warn
+// default when unset).
+func (s *Server) AnalysisPolicy(labID string) string {
+	s.polMu.RLock()
+	defer s.polMu.RUnlock()
+	if p, ok := s.policies[labID]; ok {
+		return p
+	}
+	return worker.AnalysisWarn
+}
 
 // SetClock replaces the server's time source (tests).
 func (s *Server) SetClock(clock func() time.Time) {
@@ -171,6 +211,8 @@ func (s *Server) routes() {
 	m.HandleFunc("POST /api/instructor/override", s.instructor(s.handleOverride))
 	m.HandleFunc("POST /api/instructor/comment", s.instructor(s.handleComment))
 	m.HandleFunc("POST /api/instructor/reviews/assign/{lab}", s.instructor(s.handleAssignReviews))
+	m.HandleFunc("POST /api/instructor/labs/{lab}/analysis", s.instructor(s.handleSetAnalysisPolicy))
+	m.HandleFunc("GET /api/instructor/labs/{lab}/analysis", s.instructor(s.handleGetAnalysisPolicy))
 	m.HandleFunc("GET /api/instructor/export", s.instructor(s.handleExport))
 	m.HandleFunc("GET /api/admin/metrics", s.instructor(s.handleAdminMetrics))
 	m.HandleFunc("GET /api/admin/traces", s.instructor(s.handleAdminTraces))
@@ -220,6 +262,10 @@ type AttemptRec struct {
 	Shared    bool          `json:"shared,omitempty"`
 	ShareTok  string        `json:"share_token,omitempty"`
 	TraceID   string        `json:"trace_id,omitempty"`
+
+	// Diagnostics are the static-analyzer findings for the attempted
+	// source, so the Attempts view can show them next to the outcome.
+	Diagnostics []kernelcheck.Diagnostic `json:"diagnostics,omitempty"`
 }
 
 // SubmissionRec is a final graded submission.
@@ -233,6 +279,12 @@ type SubmissionRec struct {
 	Late     bool            `json:"late,omitempty"`
 	At       time.Time       `json:"at"`
 	TraceID  string          `json:"trace_id,omitempty"`
+
+	// Diagnostics are the static-analyzer findings for the submitted
+	// source; AnalysisBlocked marks a fail-fast submission the analyzer
+	// stopped before execution.
+	Diagnostics     []kernelcheck.Diagnostic `json:"diagnostics,omitempty"`
+	AnalysisBlocked bool                     `json:"analysis_blocked,omitempty"`
 }
 
 // AnswersRec stores short-answer responses (§IV-A action 4).
@@ -433,4 +485,3 @@ func (s *Server) loadSource(userID string, l *labs.Lab) string {
 	}
 	return rec.Source
 }
-

@@ -11,8 +11,18 @@ import (
 	"encoding/json"
 	"time"
 
+	"webgpu/internal/kernelcheck"
 	"webgpu/internal/labs"
 	"webgpu/internal/trace"
+)
+
+// Analysis policies for Job.AnalysisPolicy. The zero value behaves like
+// AnalysisWarn, so existing jobs (and serialized jobs from older web
+// tiers) grade exactly as before.
+const (
+	AnalysisWarn     = "warn"      // attach diagnostics, never block (default)
+	AnalysisFailFast = "fail-fast" // provable (error-severity) bugs block execution
+	AnalysisOff      = "off"       // skip static analysis entirely
 )
 
 // Dataset sentinels for Job.DatasetID.
@@ -20,6 +30,16 @@ const (
 	DatasetAll         = -1 // run every dataset (final submission grading)
 	DatasetCompileOnly = -2 // compile only (the editor's Compile button)
 )
+
+// ValidAnalysisPolicy reports whether p names a known analysis policy
+// ("" counts as the warn default).
+func ValidAnalysisPolicy(p string) bool {
+	switch p {
+	case "", AnalysisWarn, AnalysisFailFast, AnalysisOff:
+		return true
+	}
+	return false
+}
 
 // Job is one unit of work: compile and/or run a student submission.
 type Job struct {
@@ -35,6 +55,13 @@ type Job struct {
 	// TraceID correlates the job with the web tier's end-to-end trace.
 	// On the v2 path it also rides the broker message as a meta tag.
 	TraceID string `json:"trace_id,omitempty"`
+
+	// AnalysisPolicy selects what the worker does with kernelcheck
+	// findings: AnalysisWarn (or "") attaches them to the result,
+	// AnalysisFailFast additionally blocks execution on error-severity
+	// diagnostics, AnalysisOff skips the analyzer. Instructors set this
+	// per lab; the web tier stamps it onto each job.
+	AnalysisPolicy string `json:"analysis_policy,omitempty"`
 }
 
 // Result is what a worker sends back to the web tier.
@@ -56,6 +83,13 @@ type Result struct {
 	// accept only the first result per job ID and use the attempt to
 	// label the duplicates they drop.
 	Attempt int `json:"attempt,omitempty"`
+
+	// Diagnostics carries kernelcheck's static-analysis findings for the
+	// submission, computed once per distinct source via the program
+	// cache. AnalysisBlocked marks a fail-fast job whose execution was
+	// skipped because the analyzer proved an error-severity bug.
+	Diagnostics     []kernelcheck.Diagnostic `json:"diagnostics,omitempty"`
+	AnalysisBlocked bool                     `json:"analysis_blocked,omitempty"`
 
 	// Transient marks an infrastructure failure (worker crash, injected
 	// fault) rather than a verdict on the submission: the job is safe to

@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"webgpu/internal/faultinject"
+	"webgpu/internal/kernelcheck"
 	"webgpu/internal/labs"
 	"webgpu/internal/metrics"
 	"webgpu/internal/minicuda"
@@ -133,6 +135,12 @@ func NewNode(cfg NodeConfig) *Node {
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = metrics.NewRegistry()
+	}
+	// Pre-register every kernelcheck rule's fire counter at zero so the
+	// admin metrics dump carries the full series set from node start
+	// instead of rules popping into existence at their first finding.
+	for _, r := range kernelcheck.Rules() {
+		reg.Inc(kernelcheck.MetricName(r.ID), 0)
 	}
 	return &Node{
 		ID:      cfg.ID,
@@ -338,8 +346,64 @@ func (n *Node) Execute(ctx context.Context, job *Job) *Result {
 	}
 	n.metrics.ObserveDuration("stage_compile_ms", compileWall)
 
+	// Static kernel analysis (kernelcheck). Diagnostics are a derived
+	// artifact cached on the program-cache entry, so repeat submissions
+	// skip re-analysis the same way they skip re-compilation. Under
+	// fail-fast the analyzer gates execution, so it runs inline; under the
+	// default warn policy the findings only ride the result, so the
+	// analysis overlaps dataset execution instead of extending the job's
+	// critical path (both only read the compiled program).
+	joinAnalysis := func() {}
+	if cerr == nil && job.AnalysisPolicy != AnalysisOff {
+		kcStart := time.Now()
+		var diags []kernelcheck.Diagnostic
+		var aerr error
+		var kcWall time.Duration
+		finish := func() {
+			n.metrics.ObserveDuration("stage_kernelcheck_ms", kcWall)
+			if aerr == nil {
+				res.Diagnostics = diags
+				for _, dg := range diags {
+					n.metrics.Inc(kernelcheck.MetricName(dg.ID), 1)
+				}
+			}
+			if tr != nil {
+				tr.Add(trace.Span{Name: "kernelcheck", Start: kcStart, Dur: kcWall,
+					Attrs: map[string]string{
+						"findings": strconv.Itoa(len(res.Diagnostics)),
+						"errors":   strconv.Itoa(kernelcheck.ErrorCount(res.Diagnostics)),
+						"policy":   analysisPolicyName(job.AnalysisPolicy),
+					}})
+			}
+		}
+		if job.AnalysisPolicy == AnalysisFailFast {
+			diags, aerr = n.progs.Diagnostics(job.Source, lab.Dialect)
+			kcWall = time.Since(kcStart)
+			finish()
+			if kernelcheck.ErrorCount(res.Diagnostics) > 0 {
+				res.AnalysisBlocked = true
+				res.Outcomes = analysisBlockedOutcomes(lab, job.DatasetID, res.Diagnostics, kcWall)
+				n.metrics.Inc("jobs_analysis_blocked", 1)
+				n.metrics.Inc("outcomes_incorrect", float64(len(res.Outcomes)))
+				return res
+			}
+		} else {
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				diags, aerr = n.progs.Diagnostics(job.Source, lab.Dialect)
+				kcWall = time.Since(kcStart)
+			}()
+			joinAnalysis = func() {
+				<-done
+				finish()
+			}
+		}
+	}
+
 	// Transient execution-infrastructure failure (chaos testing).
 	if ferr := n.faults.Fire(faultinject.PointNodeExec); ferr != nil {
+		joinAnalysis()
 		res.Error = ferr.Error()
 		res.Transient = true
 		n.metrics.Inc("jobs_faulted", 1)
@@ -359,6 +423,7 @@ func (n *Node) Execute(ctx context.Context, job *Job) *Result {
 		res.Outcomes = []*labs.Outcome{labs.RunCompiled(ctx, lab, prog, job.DatasetID, ctr.Devices, maxSteps)}
 	}
 	n.metrics.ObserveDuration("stage_exec_ms", time.Since(execStart))
+	joinAnalysis()
 	for _, o := range res.Outcomes {
 		clamped, truncated := n.limits.ClampOutput(o.Trace)
 		if truncated {
@@ -436,6 +501,43 @@ func (n *Node) compileSubmission(ctx context.Context, src string, dialect minicu
 		return nil, progcache.Miss,
 			fmt.Errorf("sandbox: compilation exceeded the %v limit", n.limits.CompileTimeout)
 	}
+}
+
+// analysisPolicyName normalizes the job's policy for trace attributes.
+func analysisPolicyName(p string) string {
+	if p == "" {
+		return AnalysisWarn
+	}
+	return p
+}
+
+// analysisBlockedOutcomes reports a fail-fast analysis block in the same
+// per-dataset shape a grading run produces: the submission compiled, but
+// every dataset is marked failed with the blocking diagnostics.
+func analysisBlockedOutcomes(lab *labs.Lab, datasetID int, diags []kernelcheck.Diagnostic, wall time.Duration) []*labs.Outcome {
+	var sb []string
+	for _, d := range diags {
+		if d.Severity == kernelcheck.SevError {
+			sb = append(sb, d.String())
+		}
+	}
+	msg := fmt.Sprintf("kernelcheck: execution blocked by the fail-fast analysis policy (%d provable error(s)):\n%s",
+		len(sb), strings.Join(sb, "\n"))
+	mk := func(id int) *labs.Outcome {
+		return &labs.Outcome{LabID: lab.ID, DatasetID: id, Compiled: true,
+			RuntimeError: msg, WallTime: wall}
+	}
+	if datasetID == DatasetAll {
+		outs := make([]*labs.Outcome, lab.NumDatasets)
+		for i := range outs {
+			outs[i] = mk(i)
+		}
+		return outs
+	}
+	if datasetID == DatasetCompileOnly {
+		return []*labs.Outcome{mk(-1)}
+	}
+	return []*labs.Outcome{mk(datasetID)}
 }
 
 // compileErrorOutcomes reports a compile failure in the same per-dataset

@@ -1,0 +1,160 @@
+// Command kernelcheck runs the static kernel analyzer on .cu/.cl files
+// from the command line — the same passes the worker runs at submit time
+// (barrier divergence, shared-memory races, bounds, coalescing/bank
+// advisories, hygiene), usable locally before pushing a lab or example.
+//
+// Usage: kernelcheck [-dialect auto|cuda|opencl] [-fail-on error|warn|never] <file|dir>...
+//
+// Directories are walked for .cu and .cl files. The exit code is 1 when
+// any file produces a diagnostic at or above the -fail-on severity
+// (default: error), 2 on usage or I/O problems. Compile errors always
+// fail: a kernel that does not compile cannot be analyzed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"webgpu/internal/kernelcheck"
+	"webgpu/internal/minicuda"
+)
+
+func main() {
+	dialectFlag := flag.String("dialect", "auto",
+		"kernel dialect: auto (by extension/content), cuda, or opencl")
+	failOn := flag.String("fail-on", "error",
+		"minimum severity that makes the exit code nonzero: error, warn, or never")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: kernelcheck [-dialect auto|cuda|opencl] [-fail-on error|warn|never] <file|dir>...")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var threshold int
+	switch *failOn {
+	case "error":
+		threshold = 3
+	case "warn":
+		threshold = 2
+	case "never":
+		threshold = 4 // above every real severity
+	default:
+		fmt.Fprintf(os.Stderr, "kernelcheck: unknown -fail-on %q\n", *failOn)
+		os.Exit(2)
+	}
+
+	files, err := collect(flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kernelcheck:", err)
+		os.Exit(2)
+	}
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "kernelcheck: no .cu or .cl files found")
+		os.Exit(2)
+	}
+
+	failed := false
+	total := 0
+	for _, path := range files {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kernelcheck:", err)
+			os.Exit(2)
+		}
+		src := string(raw)
+		diags, err := kernelcheck.AnalyzeSource(src, pickDialect(*dialectFlag, path, src))
+		if err != nil {
+			fmt.Printf("%s: compile error: %v\n", path, err)
+			failed = true
+			continue
+		}
+		total += len(diags)
+		for _, d := range diags {
+			fmt.Printf("%s:%s\n", path, d)
+			if severityRank(d.Severity) >= threshold {
+				failed = true
+			}
+		}
+	}
+	fmt.Printf("kernelcheck: %d file(s), %d diagnostic(s)\n", len(files), total)
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// collect expands the arguments into a sorted, de-duplicated list of
+// kernel files, walking directories for .cu/.cl.
+func collect(args []string) ([]string, error) {
+	seen := map[string]bool{}
+	var files []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			files = append(files, p)
+		}
+	}
+	for _, arg := range args {
+		info, err := os.Stat(arg)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			add(arg)
+			continue
+		}
+		err = filepath.WalkDir(arg, func(p string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && kernelExt(p) {
+				add(p)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+func kernelExt(p string) bool {
+	switch filepath.Ext(p) {
+	case ".cu", ".cl":
+		return true
+	}
+	return false
+}
+
+func pickDialect(flagVal, path, src string) minicuda.Dialect {
+	switch flagVal {
+	case "cuda":
+		return minicuda.DialectCUDA
+	case "opencl":
+		return minicuda.DialectOpenCL
+	}
+	if filepath.Ext(path) == ".cl" || strings.Contains(src, "__kernel") {
+		return minicuda.DialectOpenCL
+	}
+	return minicuda.DialectCUDA
+}
+
+func severityRank(s kernelcheck.Severity) int {
+	switch s {
+	case kernelcheck.SevError:
+		return 3
+	case kernelcheck.SevWarn:
+		return 2
+	default:
+		return 1
+	}
+}
