@@ -288,6 +288,15 @@ func (tc *ThreadCtx) CountSpecial(n int) { tc.stats.special += int64(n) }
 // CountBranch charges a branch instruction.
 func (tc *ThreadCtx) CountBranch() { tc.stats.branches++ }
 
+// CountBranches charges n branch instructions at once; a warp-level
+// executor batches the per-lane branch charges of a whole launch into one
+// call (only the block-level sum is observable).
+func (tc *ThreadCtx) CountBranches(n int) { tc.stats.branches += int64(n) }
+
+// CountBarriers charges n barrier arrivals at once (the warp executor's
+// batched equivalent of the SyncThreads-internal charge).
+func (tc *ThreadCtx) CountBarriers(n int) { tc.stats.barriers += int64(n) }
+
 // Aborted reports whether the launch has been aborted by another thread's
 // error; long-running native kernels should poll it inside loops.
 func (tc *ThreadCtx) Aborted() bool { return tc.block.aborted.Load() }
@@ -496,6 +505,17 @@ type LaunchStats struct {
 // Blocks are scheduled over the device's SMs; threads within a block run
 // concurrently and may synchronize with SyncThreads.
 func (d *Device) Launch(name string, cfg LaunchConfig, k KernelFunc) (*LaunchStats, error) {
+	var aborted atomic.Bool
+	abortErr := &onceErr{}
+	return d.launchRun(name, cfg, &aborted, abortErr, func(bc *blockCtx) blockResult {
+		return d.runBlock(bc, cfg, k, &aborted, abortErr)
+	})
+}
+
+// launchRun is the launch scheduler shared by the per-thread and per-warp
+// entry points: it validates the configuration, drains the grid's blocks
+// over the simulated SMs, and folds block results into launch statistics.
+func (d *Device) launchRun(name string, cfg LaunchConfig, aborted *atomic.Bool, abortErr *onceErr, runBlock func(*blockCtx) blockResult) (*LaunchStats, error) {
 	if err := d.validateLaunch(cfg); err != nil {
 		return nil, err
 	}
@@ -509,9 +529,6 @@ func (d *Device) Launch(name string, cfg LaunchConfig, k KernelFunc) (*LaunchSta
 	start := time.Now()
 	numBlocks := cfg.Grid.Count()
 	threadsPerBlock := cfg.Block.Count()
-
-	var aborted atomic.Bool
-	abortErr := &onceErr{}
 
 	stats := &LaunchStats{
 		Name:    name,
@@ -552,8 +569,8 @@ func (d *Device) Launch(name string, cfg LaunchConfig, k KernelFunc) (*LaunchSta
 					continue
 				}
 				blockIdx := unflatten(flat, cfg.Grid)
-				bc := newBlockCtx(d, blockIdx, cfg, cfg.SharedMemBytes, &aborted, abortErr)
-				bs := d.runBlock(bc, cfg, k, &aborted, abortErr)
+				bc := newBlockCtx(d, blockIdx, cfg, cfg.SharedMemBytes, aborted, abortErr)
+				bs := runBlock(bc)
 				statsMu.Lock()
 				// Round-robin blocks over the *simulated* SM count so the
 				// simulated time reflects the device, not the host.

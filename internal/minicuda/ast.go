@@ -279,6 +279,11 @@ type Program struct {
 	// lowered and launches fall back to the tree-walking interpreter).
 	bcOnce sync.Once
 	bc     *bytecodeProgram
+
+	// Fused warp-execution artifact derived from the bytecode (nil when
+	// the program has no bytecode).
+	wpOnce sync.Once
+	wp     *warpProgram
 }
 
 // bytecode returns the program's lowered bytecode artifact, building it on
@@ -290,13 +295,39 @@ func (p *Program) bytecode() *bytecodeProgram {
 	return p.bc
 }
 
+// warpcode returns the program's fused warp-execution artifact, building
+// it from the bytecode on first use. A nil result means warp launches
+// fall back to the per-thread VM (or the tree walker).
+func (p *Program) warpcode() *warpProgram {
+	p.wpOnce.Do(func() {
+		if bc := p.bytecode(); bc != nil {
+			p.wp = buildWarpProgram(bc)
+		}
+	})
+	return p.wp
+}
+
 // ArtifactKind reports which executable artifact a default launch of this
-// program uses: "bytecode" for the register VM, "ast" for the tree walker.
+// program uses: "bytecode-warp" for the warp engine, "bytecode" for the
+// per-thread register VM, "ast" for the tree walker.
 func (p *Program) ArtifactKind() string {
-	if defaultEngine() != EngineTree && p.bytecode() != nil {
-		return "bytecode"
+	switch defaultEngine() {
+	case EngineTree:
+		return "ast"
+	case EngineVM:
+		if p.bytecode() != nil {
+			return "bytecode"
+		}
+		return "ast"
+	default:
+		if p.warpcode() != nil {
+			return "bytecode-warp"
+		}
+		if p.bytecode() != nil {
+			return "bytecode"
+		}
+		return "ast"
 	}
-	return "ast"
 }
 
 // InstructionCount reports the number of VM instructions in the lowered

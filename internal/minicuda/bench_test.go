@@ -143,6 +143,78 @@ func BenchmarkBytecodeVsTreeMatMul(b *testing.B) {
 	}
 }
 
+// BenchmarkWarpVsVMMatMul runs the tiled matrix multiply under the
+// warp-vectorized engine and the per-thread register VM, side by side.
+// This is the headline pair for the warp tier: a barrier-heavy,
+// largely-uniform kernel where once-per-warp decode should win big.
+func BenchmarkWarpVsVMMatMul(b *testing.B) {
+	prog, err := Compile(benchSrc, DialectCUDA)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, sub := range []struct {
+		name string
+		eng  Engine
+	}{{"warp", EngineWarp}, {"vm", EngineVM}} {
+		b.Run(sub.name, func(b *testing.B) {
+			d := gpusim.NewDefaultDevice()
+			n := 32
+			a, _ := d.Malloc(n * n * 4)
+			bb, _ := d.Malloc(n * n * 4)
+			c, _ := d.Malloc(n * n * 4)
+			opts := LaunchOpts{Grid: gpusim.D2(n/16, n/16), Block: gpusim.D2(16, 16), Engine: sub.eng}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := prog.Launch(d, "matrixMultiplyShared", opts,
+					FloatPtr(a), FloatPtr(bb), FloatPtr(c),
+					Int(n), Int(n), Int(n)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWarpDivergent stresses the warp engine's worst case: a
+// data-dependent loop (Collatz) where lanes diverge immediately and
+// re-converge rarely, so strands shrink toward single lanes and the
+// once-per-warp decode advantage evaporates. The warp engine should
+// degrade toward VM speed here, not fall meaningfully below it.
+func BenchmarkWarpDivergent(b *testing.B) {
+	src := `__global__ void collatz(int *out, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i >= n) return;
+  int v = i + 1;
+  int steps = 0;
+  while (v != 1 && steps < 200) {
+    if (v & 1) { v = 3 * v + 1; } else { v = v / 2; }
+    steps++;
+  }
+  out[i] = steps;
+}`
+	prog, err := Compile(src, DialectCUDA)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, sub := range []struct {
+		name string
+		eng  Engine
+	}{{"warp", EngineWarp}, {"vm", EngineVM}} {
+		b.Run(sub.name, func(b *testing.B) {
+			d := gpusim.NewDefaultDevice()
+			n := 4096
+			out, _ := d.Malloc(n * 4)
+			opts := LaunchOpts{Grid: gpusim.D1(n / 256), Block: gpusim.D1(256), Engine: sub.eng}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := prog.Launch(d, "collatz", opts, IntPtr(out), Int(n)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkTranslateOpenACC(b *testing.B) {
 	src := `
 void vecadd(float *a, float *b, float *c, int n) {

@@ -31,7 +31,7 @@ func TestBytecodeArtifactMetadata(t *testing.T) {
 	if got, want := prog.BytecodeBytes(), n*int(unsafe.Sizeof(instr{})); got != want {
 		t.Fatalf("BytecodeBytes = %d, want %d", got, want)
 	}
-	if k := prog.ArtifactKind(); k != "bytecode" && k != "ast" {
+	if k := prog.ArtifactKind(); k != "bytecode-warp" && k != "bytecode" && k != "ast" {
 		t.Fatalf("ArtifactKind = %q", k)
 	}
 }
@@ -88,8 +88,8 @@ __global__ void k(int *o, int n) { o[0] = r(n); }`, 0, ErrCallDepth},
 			if prog.bytecode() == nil {
 				t.Fatal("kernel should lower to bytecode")
 			}
-			var msgs [2]string
-			for i, eng := range []Engine{EngineVM, EngineTree} {
+			var msgs [3]string
+			for i, eng := range []Engine{EngineVM, EngineTree, EngineWarp} {
 				dev := gpusim.NewDefaultDevice()
 				o, _ := dev.Malloc(4)
 				_, lerr := prog.Launch(dev, "k",
@@ -104,8 +104,9 @@ __global__ void k(int *o, int n) { o[0] = r(n); }`, 0, ErrCallDepth},
 				}
 				msgs[i] = lerr.Error()
 			}
-			if msgs[0] != msgs[1] {
-				t.Fatalf("trap message divergence:\nvm:   %q\ntree: %q", msgs[0], msgs[1])
+			if msgs[0] != msgs[1] || msgs[0] != msgs[2] {
+				t.Fatalf("trap message divergence:\nvm:   %q\ntree: %q\nwarp: %q",
+					msgs[0], msgs[1], msgs[2])
 			}
 		})
 	}
@@ -120,7 +121,7 @@ func TestEngineOverride(t *testing.T) {
 	}
 	const n = 64
 	var want []int32
-	for _, eng := range []Engine{EngineVM, EngineTree, EngineAuto} {
+	for _, eng := range []Engine{EngineVM, EngineTree, EngineWarp, EngineAuto} {
 		dev := gpusim.NewDefaultDevice()
 		out, _ := dev.Malloc(n * 4)
 		av := make([]int32, n)

@@ -33,10 +33,11 @@ func Compile(src string, dialect Dialect) (*Program, error) {
 	if err := Analyze(prog); err != nil {
 		return nil, err
 	}
-	// Lower to bytecode eagerly so the artifact is built once at compile
-	// time (and cached alongside the AST in the program cache) rather than
-	// on the first launch.
-	prog.bytecode()
+	// Lower to bytecode (and the fused warp stream derived from it)
+	// eagerly so the artifacts are built once at compile time (and cached
+	// alongside the AST in the program cache) rather than on the first
+	// launch.
+	prog.warpcode()
 	return prog, nil
 }
 
@@ -44,14 +45,20 @@ func Compile(src string, dialect Dialect) (*Program, error) {
 type Engine uint8
 
 const (
-	// EngineAuto uses the register VM unless MINICUDA_INTERP=tree is set
-	// in the environment (or the program could not be lowered).
+	// EngineAuto uses the warp engine unless MINICUDA_INTERP selects
+	// another (or the program could not be lowered).
 	EngineAuto Engine = iota
-	// EngineVM forces the bytecode register VM (falls back to the tree
-	// walker only when lowering failed).
+	// EngineVM forces the per-thread bytecode register VM (falls back to
+	// the tree walker only when lowering failed).
 	EngineVM
 	// EngineTree forces the tree-walking interpreter.
 	EngineTree
+	// EngineWarp forces the warp-vectorized bytecode engine, which decodes
+	// each instruction once per warp instead of once per thread. Launches
+	// the warp engine cannot serve exactly (SchedSeed-permuted serial
+	// order, warps wider than maxWarpLanes, lowering failure) fall back to
+	// the VM.
+	EngineWarp
 )
 
 var (
@@ -60,14 +67,17 @@ var (
 )
 
 // defaultEngine resolves the process-wide engine choice once; the
-// MINICUDA_INTERP=tree escape hatch keeps the old interpreter reachable
-// without recompiling.
+// MINICUDA_INTERP variable (tree | vm | warp) keeps the older
+// interpreters reachable without recompiling.
 func defaultEngine() Engine {
 	engineOnce.Do(func() {
-		if os.Getenv("MINICUDA_INTERP") == "tree" {
+		switch os.Getenv("MINICUDA_INTERP") {
+		case "tree":
 			engineEnv = EngineTree
-		} else {
+		case "vm":
 			engineEnv = EngineVM
+		default:
+			engineEnv = EngineWarp
 		}
 	})
 	return engineEnv
@@ -160,6 +170,22 @@ func (p *Program) Launch(dev *gpusim.Device, kernel string, opts LaunchOpts, arg
 	eng := opts.Engine
 	if eng == EngineAuto {
 		eng = defaultEngine()
+	}
+	if eng == EngineWarp {
+		// SchedSeed permutes per-thread serial order, which a lockstep warp
+		// cannot reproduce; overly wide warps exceed the engine's lane
+		// bookkeeping. Both fall back to the per-thread VM.
+		if opts.SchedSeed != 0 || dev.Props().WarpSize > maxWarpLanes {
+			eng = EngineVM
+		} else if wp := p.warpcode(); wp != nil {
+			kfn := wp.bc.funcs[fn]
+			cfg.NoBarriers = !wp.bc.usesBarrier
+			return dev.LaunchWarp(kernel, cfg, func(wc *gpusim.WarpCtx) error {
+				return wp.run(wc, kfn, bound, maxSteps)
+			})
+		} else {
+			eng = EngineVM
+		}
 	}
 	if eng != EngineTree {
 		if bc := p.bytecode(); bc != nil {

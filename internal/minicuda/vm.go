@@ -36,29 +36,14 @@ type vmState struct {
 
 var vmPool = sync.Pool{New: func() any { return &vmState{} }}
 
-func growI64(s []int64, need int) []int64 {
+// grow returns s extended (preserving contents) to hold at least need
+// elements, doubling to amortize regrowth. Shared by the VM's per-thread
+// register banks and the warp engine's struct-of-arrays lane banks.
+func grow[T any](s []T, need int) []T {
 	if need <= len(s) {
 		return s
 	}
-	n := make([]int64, 2*need)
-	copy(n, s)
-	return n
-}
-
-func growF64(s []float64, need int) []float64 {
-	if need <= len(s) {
-		return s
-	}
-	n := make([]float64, 2*need)
-	copy(n, s)
-	return n
-}
-
-func growPtr(s []Pointer, need int) []Pointer {
-	if need <= len(s) {
-		return s
-	}
-	n := make([]Pointer, 2*need)
+	n := make([]T, 2*need)
 	copy(n, s)
 	return n
 }
@@ -255,9 +240,9 @@ func (bc *bytecodeProgram) run(st *vmState, tc *gpusim.ThreadCtx, kfn *bcFunc, b
 	d = tc.GridDim
 	dims[9], dims[10], dims[11] = d.X, d.Y, d.Z
 
-	st.ints = growI64(st.ints, int(kfn.numI))
-	st.floats = growF64(st.floats, int(kfn.numF))
-	st.ptrs = growPtr(st.ptrs, int(kfn.numP))
+	st.ints = grow(st.ints, int(kfn.numI))
+	st.floats = grow(st.floats, int(kfn.numF))
+	st.ptrs = grow(st.ptrs, int(kfn.numP))
 	ints, floats, ptrs := st.ints, st.floats, st.ptrs
 	stack := st.stack[:0]
 	defer func() { st.stack = stack }()
@@ -642,9 +627,9 @@ func (bc *bytecodeProgram) run(st *vmState, tc *gpusim.ThreadCtx, kfn *bcFunc, b
 			cs := bc.calls[in.aux]
 			tgt := cs.target
 			nbI, nbF, nbP := bI+fn.numI, bF+fn.numF, bP+fn.numP
-			st.ints = growI64(st.ints, int(nbI+tgt.numI))
-			st.floats = growF64(st.floats, int(nbF+tgt.numF))
-			st.ptrs = growPtr(st.ptrs, int(nbP+tgt.numP))
+			st.ints = grow(st.ints, int(nbI+tgt.numI))
+			st.floats = grow(st.floats, int(nbF+tgt.numF))
+			st.ptrs = grow(st.ptrs, int(nbP+tgt.numP))
 			ints, floats, ptrs = st.ints, st.floats, st.ptrs
 			for _, m := range cs.moves {
 				switch m.bank {

@@ -1,0 +1,1572 @@
+package minicuda
+
+// Warp engine: executes the lowered bytecode once per *warp* instead of
+// once per thread. Each instruction is fetched and dispatched a single
+// time, then applied across all active lanes of a strand through the
+// struct-of-arrays register banks in warpstate.go. Divergence is handled
+// by strand splitting: a non-uniform branch partitions the active lanes
+// into two strands, and the scheduler (min-pc first) naturally brings
+// split strands back together at the join point, where strands with
+// identical control state merge. A fully-uniform branch never splits and
+// stays a single jump, so convergent code pays no divergence tax.
+//
+// On top of the plain stream, buildWarpProgram fuses adjacent instruction
+// pairs matching the idioms course kernels are made of (multiply-add,
+// indexed load/store, compare-and-branch, increment-and-loop) into
+// superinstructions executed with one dispatch, one budget check, and one
+// batched ALU charge.
+//
+// Parity contract (enforced by the three-way oracle in diff_test.go):
+// results, LaunchStats, and error strings match the tree walker and the
+// register VM exactly for race-free kernels. Compute charges (ALU,
+// special, branch, barrier) are batched per warp — only block-level sums
+// are observable. Memory accesses are NEVER batched: each goes through
+// the owning lane's ThreadCtx in ascending lane order, so gpusim's
+// warp-synchronous coalescing model sees per-thread event logs identical
+// to the per-thread engines. Step budgets are per-lane exact: a strand
+// carries a shared counter plus per-lane offsets (rebased on merge), and
+// fused superinstructions fall back to component-at-a-time replay when a
+// budget trap could fire inside them. For single-lane launches the warp
+// engine is instruction-for-instruction identical to the VM, including
+// trap points; for multi-lane launches that trap mid-kernel, the set of
+// partially-executed threads may differ from the serial engines (lockstep
+// lanes run together), exactly as concurrent per-thread execution already
+// differs from serial.
+
+import (
+	"math"
+
+	"webgpu/internal/gpusim"
+)
+
+// maxWarpLanes bounds the lane count the warp engine supports (lane masks
+// and scratch assume it); devices with wider warps fall back to the VM.
+const maxWarpLanes = 64
+
+// wOp tags a winstr with its fusion kind.
+type wOp uint8
+
+const (
+	wPlain    wOp = iota // execute in alone
+	wFMA                 // opMulF ; opAddF
+	wLoadIdx             // opPAdd ; opLoad   (load through the just-formed pointer)
+	wStoreIdx            // opPAdd ; opStoreI/opStoreF
+	wCmpJZ               // opCmpI/U/F ; opJZ/opJNZ on the compare result
+	wAddKJmp             // opAddKI ; opJmp   (loop-counter increment + back edge)
+)
+
+// winstr is one warp instruction: a bytecode instruction, or a fused pair.
+// Charges are lifted out of the component instrs so the fast path applies
+// them in one batch; the components keep their own copies for the
+// near-budget replay path.
+type winstr struct {
+	fuse wOp
+	// dead marks a fused pair whose intermediate register (the first
+	// component's destination) is read by nothing in the program except the
+	// second component: the fast path then skips materializing it. Registers
+	// are never observable outside instruction reads, so the skip is exact.
+	dead           bool
+	alu1, alu2     uint8
+	steps1, steps2 uint16
+	in, in2        instr
+}
+
+// warpProgram is the warp-execution artifact derived from a lowered
+// bytecodeProgram: the fused instruction stream plus pc-remapped entry
+// points. It is immutable after construction and shared across launches.
+type warpProgram struct {
+	bc        *bytecodeProgram
+	code      []winstr
+	entry     map[*bcFunc]int32
+	callEntry []int32 // per bc.calls index: fused-stream entry pc of the target
+}
+
+// fuseKind reports the superinstruction formed by the adjacent pair (a, b),
+// or wPlain. Fused execution preserves every register write of both
+// components, so the only legality conditions are the dataflow the fused
+// executor assumes (the second op consuming the first's destination where
+// the pattern requires it).
+func fuseKind(a, b *instr) wOp {
+	switch a.op {
+	case opMulF:
+		if b.op == opAddF {
+			return wFMA
+		}
+	case opPAdd:
+		switch b.op {
+		case opLoad:
+			if b.b == a.a {
+				return wLoadIdx
+			}
+		case opStoreI, opStoreF:
+			if b.b == a.a {
+				return wStoreIdx
+			}
+		}
+	case opCmpI, opCmpU, opCmpF:
+		if (b.op == opJZ || b.op == opJNZ) && b.kind == bankI && b.b == a.a {
+			return wCmpJZ
+		}
+	case opAddKI:
+		if b.op == opJmp {
+			return wAddKJmp
+		}
+	}
+	return wPlain
+}
+
+// countReads scans every instruction of the program and counts how many
+// static sites read each (window-relative) register number, per bank. The
+// count is pooled across functions (registers of different functions that
+// share a number alias in the count), which only costs missed dead-temp
+// opportunities, never correctness.
+func countReads(bc *bytecodeProgram) (readsI, readsF, readsP []int32) {
+	var maxI, maxF, maxP int32
+	for _, f := range bc.funcs {
+		maxI, maxF, maxP = max(maxI, f.numI), max(maxF, f.numF), max(maxP, f.numP)
+	}
+	readsI = make([]int32, maxI)
+	readsF = make([]int32, maxF)
+	readsP = make([]int32, maxP)
+	mark := func(bank uint8, reg int32) {
+		switch bank {
+		case bankI:
+			readsI[reg]++
+		case bankF:
+			readsF[reg]++
+		case bankP:
+			readsP[reg]++
+		}
+	}
+	for i := range bc.code {
+		in := &bc.code[i]
+		switch in.op {
+		case opMovI, opTruncI, opNegI, opNotI, opAddKI, opAbsI, opLNotI,
+			opTruthyI, opI2F, opI2FRaw, opWorkItem:
+			mark(bankI, in.b)
+		case opAddI, opSubI, opMulI, opDivI, opModI, opDivU, opModU,
+			opAndI, opOrI, opXorI, opShlI, opShrI, opShrU,
+			opMinI, opMaxI, opCmpI, opCmpU:
+			mark(bankI, in.b)
+			mark(bankI, in.c)
+		case opMovF, opNegF, opAddKF, opFAbsF, opFloor, opCeil, opSqrt,
+			opRsqrt, opExp, opLog, opSin, opCos, opF2F, opF2I, opF2IRaw,
+			opLNotF, opTruthyF:
+			mark(bankF, in.b)
+		case opAddF, opSubF, opMulF, opDivF, opMinF, opMaxF, opPow, opCmpF:
+			mark(bankF, in.b)
+			mark(bankF, in.c)
+		case opMovP, opPAddK, opLNotP, opTruthyP, opLoad:
+			mark(bankP, in.b)
+		case opCmpP, opPDiff:
+			mark(bankP, in.b)
+			mark(bankP, in.c)
+		case opPAdd:
+			mark(bankP, in.b)
+			mark(bankI, in.c)
+		case opStoreI:
+			mark(bankP, in.b)
+			mark(bankI, in.c)
+		case opStoreF:
+			mark(bankP, in.b)
+			mark(bankF, in.c)
+		case opStoreP:
+			mark(bankP, in.b)
+			mark(bankP, in.c)
+		case opJZ, opJNZ, opRet:
+			if in.kind != bankNone {
+				mark(in.kind, in.b)
+			}
+		case opCall:
+			for _, m := range bc.calls[in.aux].moves {
+				mark(m.bank, m.src)
+			}
+		case opAtomic:
+			spec := bc.atomics[in.aux]
+			mark(bankP, in.b)
+			if atomFloatVal(spec) {
+				mark(bankF, in.c)
+			} else {
+				mark(bankI, in.c)
+			}
+			if spec.name == "atomicCAS" {
+				mark(bankI, spec.val2)
+			}
+		}
+	}
+	return readsI, readsF, readsP
+}
+
+// buildWarpProgram lowers a bytecode program into the fused warp stream.
+// Fusion never crosses an instruction that some jump, call return, or
+// function entry can land on, so every control transfer still targets the
+// start of a warp instruction; jump targets are remapped afterwards.
+func buildWarpProgram(bc *bytecodeProgram) *warpProgram {
+	n := len(bc.code)
+	isTarget := make([]bool, n+1)
+	for i := range bc.code {
+		switch bc.code[i].op {
+		case opJmp, opJZ, opJNZ:
+			isTarget[bc.code[i].aux] = true
+		case opCall:
+			isTarget[i+1] = true // the call's return pc
+		}
+	}
+	for _, f := range bc.funcs {
+		isTarget[f.entry] = true
+	}
+
+	readsI, readsF, readsP := countReads(bc)
+	old2new := make([]int32, n+1)
+	code := make([]winstr, 0, n)
+	// consumed counts, per register, the reads that are the adjacent
+	// consuming read of a fused pair defining that register.
+	consumedI := make([]int32, len(readsI))
+	consumedF := make([]int32, len(readsF))
+	consumedP := make([]int32, len(readsP))
+	for i := 0; i < n; i++ {
+		in := bc.code[i]
+		w := winstr{fuse: wPlain, steps1: in.steps, alu1: in.alu, in: in}
+		if i+1 < n && !isTarget[i+1] {
+			if f := fuseKind(&bc.code[i], &bc.code[i+1]); f != wPlain {
+				nx := bc.code[i+1]
+				w.fuse, w.in2, w.steps2, w.alu2 = f, nx, nx.steps, nx.alu
+				switch f {
+				case wFMA:
+					if nx.b == in.a {
+						consumedF[in.a]++
+					}
+					if nx.c == in.a {
+						consumedF[in.a]++
+					}
+				case wLoadIdx, wStoreIdx:
+					consumedP[in.a]++
+				case wCmpJZ:
+					consumedI[in.a]++
+				}
+			}
+		}
+		old2new[i] = int32(len(code))
+		code = append(code, w)
+		if w.fuse != wPlain {
+			old2new[i+1] = int32(len(code)) // never a target; keep monotone
+			i++
+		}
+	}
+	old2new[n] = int32(len(code))
+	// A fused pair's intermediate is dead when every read of its register
+	// anywhere in the program is the consuming read of some fused pair
+	// defining it: then each dynamic instance's only observer is its own
+	// adjacent consumer, and the fast path may skip materializing it.
+	for i := range code {
+		w := &code[i]
+		switch w.fuse {
+		case wFMA:
+			w.dead = readsF[w.in.a] == consumedF[w.in.a]
+		case wLoadIdx, wStoreIdx:
+			w.dead = readsP[w.in.a] == consumedP[w.in.a]
+		case wCmpJZ:
+			w.dead = readsI[w.in.a] == consumedI[w.in.a]
+		}
+	}
+
+	for i := range code {
+		w := &code[i]
+		switch {
+		case w.fuse == wPlain && (w.in.op == opJmp || w.in.op == opJZ || w.in.op == opJNZ):
+			w.in.aux = old2new[w.in.aux]
+		case w.fuse == wCmpJZ || w.fuse == wAddKJmp:
+			w.in2.aux = old2new[w.in2.aux]
+		}
+	}
+	entry := make(map[*bcFunc]int32, len(bc.funcs))
+	for _, f := range bc.funcs {
+		entry[f] = old2new[f.entry]
+	}
+	callEntry := make([]int32, len(bc.calls))
+	for i, cs := range bc.calls {
+		callEntry[i] = entry[cs.target]
+	}
+	return &warpProgram{bc: bc, code: code, entry: entry, callEntry: callEntry}
+}
+
+// Strand control outcomes of executing an instruction / running a strand.
+const (
+	ctlNone  uint8 = iota
+	ctlYield       // reached the scheduler watermark (merge opportunity)
+	ctlSplit       // divergent branch: wx.split holds the taken-side strand
+	ctlSync        // parked at a barrier; s.gen holds the generation token
+	ctlExit        // the strand's lanes returned from the kernel
+)
+
+// warpExec is the per-run execution context of one warp.
+type warpExec struct {
+	wp       *warpProgram
+	ws       *warpState
+	wc       *gpusim.WarpCtx
+	bound    []Value
+	maxSteps int64
+
+	split            *strand // strand produced by a divergent branch
+	jumpBuf, stayBuf []int32 // branch partition scratch
+}
+
+// run executes kernel kfn across one warp.
+func (wp *warpProgram) run(wc *gpusim.WarpCtx, kfn *bcFunc, bound []Value, maxSteps int64) error {
+	ws := warpStatePool.Get().(*warpState)
+	ws.init(wc)
+	wx := &warpExec{wp: wp, ws: ws, wc: wc, bound: bound, maxSteps: maxSteps}
+	err := wx.run(kfn)
+	ws.flush()
+	warpStatePool.Put(ws)
+	return err
+}
+
+func (wx *warpExec) run(kfn *bcFunc) error {
+	ws, wc := wx.ws, wx.wc
+	W := ws.W
+	ws.ints = grow(ws.ints, int(kfn.numI)*W)
+	ws.floats = grow(ws.floats, int(kfn.numF)*W)
+	ws.ptrs = grow(ws.ptrs, int(kfn.numP)*W)
+	for i, p := range kfn.params {
+		v := wx.bound[i]
+		col := int(p.reg) * W
+		switch p.bank {
+		case bankI:
+			for l := 0; l < W; l++ {
+				ws.ints[col+l] = v.I
+			}
+		case bankF:
+			for l := 0; l < W; l++ {
+				ws.floats[col+l] = v.F
+			}
+		default:
+			for l := 0; l < W; l++ {
+				ws.ptrs[col+l] = v.P
+			}
+		}
+	}
+
+	root := ws.newStrand()
+	root.fn = kfn
+	root.pc = wx.wp.entry[kfn]
+	for l := 0; l < W; l++ {
+		root.lanes = append(root.lanes, int32(l))
+		root.base[l] = 0
+	}
+
+	runnable := []*strand{root}
+	var waiting []*strand
+	for {
+		// Unpark strands whose barrier released (possibly by our own
+		// arrivals or lane exits).
+		if len(waiting) > 0 {
+			kept := waiting[:0]
+			for _, s := range waiting {
+				rel, err := wc.SyncPoll(s.gen)
+				if err != nil {
+					return err
+				}
+				if rel {
+					runnable = append(runnable, s)
+				} else {
+					kept = append(kept, s)
+				}
+			}
+			waiting = kept
+		}
+		if len(runnable) == 0 {
+			if len(waiting) == 0 {
+				return nil // every lane exited
+			}
+			// The whole warp is parked: progress depends on other warps.
+			gmin := waiting[0].gen
+			for _, s := range waiting[1:] {
+				if s.gen < gmin {
+					gmin = s.gen
+				}
+			}
+			if err := wc.SyncWait(gmin); err != nil {
+				return err
+			}
+			continue
+		}
+
+		// Pick the min-pc strand (ties by first lane, for determinism) and
+		// merge every strand that reconverged with it.
+		si := 0
+		for i := 1; i < len(runnable); i++ {
+			s, b := runnable[i], runnable[si]
+			if s.pc < b.pc || (s.pc == b.pc && s.lanes[0] < b.lanes[0]) {
+				si = i
+			}
+		}
+		s := runnable[si]
+		for i := len(runnable) - 1; i >= 0; i-- {
+			if runnable[i] != s && sameFrame(s, runnable[i]) {
+				ws.mergeInto(s, runnable[i])
+				runnable[i] = runnable[len(runnable)-1]
+				runnable = runnable[:len(runnable)-1]
+			}
+		}
+		// Watermark: the next parked pc ahead of s. Running past it would
+		// skip a merge opportunity, so the strand yields there.
+		watermark := int32(math.MaxInt32)
+		for _, o := range runnable {
+			if o != s && o.pc > s.pc && o.pc < watermark {
+				watermark = o.pc
+			}
+		}
+
+		ctl, err := wx.runStrand(s, watermark)
+		if err != nil {
+			return err
+		}
+		switch ctl {
+		case ctlSplit:
+			runnable = append(runnable, wx.split)
+			wx.split = nil
+		case ctlSync:
+			runnable = removeStrand(runnable, s)
+			waiting = append(waiting, s)
+		case ctlExit:
+			wc.ExitLanes(len(s.lanes))
+			runnable = removeStrand(runnable, s)
+			ws.freeStrand(s)
+		}
+	}
+}
+
+func removeStrand(list []*strand, s *strand) []*strand {
+	for i, o := range list {
+		if o == s {
+			list[i] = list[len(list)-1]
+			return list[:len(list)-1]
+		}
+	}
+	return list
+}
+
+// runStrand executes s until it yields: watermark reached, divergent
+// split, barrier park, kernel return, or a trap (returned as the error).
+func (wx *warpExec) runStrand(s *strand, watermark int32) (uint8, error) {
+	ws := wx.ws
+	code := wx.wp.code
+	maxSteps := wx.maxSteps
+	for {
+		if s.pc >= watermark {
+			return ctlYield, nil
+		}
+		w := &code[s.pc]
+		s.pc++
+		if w.fuse == wPlain {
+			if w.steps1 != 0 {
+				s.steps += int64(w.steps1)
+				if s.steps+s.maxBase > maxSteps {
+					return 0, ErrStepLimit
+				}
+			}
+			if w.alu1 != 0 {
+				ws.acc.alu += int64(w.alu1) * int64(len(s.lanes))
+			}
+			ctl, err := wx.execInstr(s, &w.in)
+			if err != nil {
+				return 0, err
+			}
+			if ctl != ctlNone {
+				return ctl, nil
+			}
+			continue
+		}
+		// Fused pair: when no budget trap can fire inside, charge both
+		// components at once and run the combined fast path.
+		total := int64(w.steps1) + int64(w.steps2)
+		if s.steps+total+s.maxBase <= maxSteps {
+			s.steps += total
+			if a := int64(w.alu1) + int64(w.alu2); a != 0 {
+				ws.acc.alu += a * int64(len(s.lanes))
+			}
+			ctl, err := wx.execFused(s, w)
+			if err != nil {
+				return 0, err
+			}
+			if ctl != ctlNone {
+				return ctl, nil
+			}
+			continue
+		}
+		// Near the budget: replay the components one at a time so the trap
+		// fires between the same two effects as the per-thread engines.
+		if w.steps1 != 0 {
+			s.steps += int64(w.steps1)
+			if s.steps+s.maxBase > maxSteps {
+				return 0, ErrStepLimit
+			}
+		}
+		if w.alu1 != 0 {
+			ws.acc.alu += int64(w.alu1) * int64(len(s.lanes))
+		}
+		if _, err := wx.execInstr(s, &w.in); err != nil {
+			return 0, err
+		}
+		if w.steps2 != 0 {
+			s.steps += int64(w.steps2)
+			if s.steps+s.maxBase > maxSteps {
+				return 0, ErrStepLimit
+			}
+		}
+		if w.alu2 != 0 {
+			ws.acc.alu += int64(w.alu2) * int64(len(s.lanes))
+		}
+		ctl, err := wx.execInstr(s, &w.in2)
+		if err != nil {
+			return 0, err
+		}
+		if ctl != ctlNone {
+			return ctl, nil
+		}
+	}
+}
+
+// execFused runs a fused pair's combined fast path. Both components'
+// register writes are preserved, so fusion is observationally identical
+// to the unfused sequence.
+func (wx *warpExec) execFused(s *strand, w *winstr) (uint8, error) {
+	ws := wx.ws
+	W := ws.W
+	switch w.fuse {
+	case wFMA:
+		floats := ws.floats
+		mb := int(s.bF+w.in.b) * W
+		mc := int(s.bF+w.in.c) * W
+		da := int(s.bF+w.in2.a) * W
+		xb := int(s.bF+w.in2.b) * W
+		yc := int(s.bF+w.in2.c) * W
+		if w.dead {
+			aliasB := w.in2.b == w.in.a
+			aliasC := w.in2.c == w.in.a
+			for _, l := range s.lanes {
+				li := int(l)
+				m := round32(floats[mb+li] * floats[mc+li])
+				x, y := floats[xb+li], floats[yc+li]
+				if aliasB {
+					x = m
+				}
+				if aliasC {
+					y = m
+				}
+				floats[da+li] = round32(x + y)
+			}
+			return ctlNone, nil
+		}
+		ta := int(s.bF+w.in.a) * W
+		for _, l := range s.lanes {
+			li := int(l)
+			floats[ta+li] = round32(floats[mb+li] * floats[mc+li])
+			floats[da+li] = round32(floats[xb+li] + floats[yc+li])
+		}
+		return ctlNone, nil
+	case wLoadIdx:
+		if w.dead {
+			return wx.loadIdxFast(s, w)
+		}
+		ptrs := ws.ptrs
+		pa := int(s.bP+w.in.a) * W
+		pb := int(s.bP+w.in.b) * W
+		ic := int(s.bI+w.in.c) * W
+		ints := ws.ints
+		for _, l := range s.lanes {
+			li := int(l)
+			p := ptrs[pb+li].offset(int(ints[ic+li]) * int(w.in.k))
+			ptrs[pa+li] = p
+			if err := wx.loadLane(s, &w.in2, li, p); err != nil {
+				return 0, err
+			}
+		}
+		return ctlNone, nil
+	case wStoreIdx:
+		if w.dead {
+			return wx.storeIdxFast(s, w)
+		}
+		ptrs := ws.ptrs
+		pa := int(s.bP+w.in.a) * W
+		pb := int(s.bP+w.in.b) * W
+		ic := int(s.bI+w.in.c) * W
+		ints := ws.ints
+		for _, l := range s.lanes {
+			li := int(l)
+			p := ptrs[pb+li].offset(int(ints[ic+li]) * int(w.in.k))
+			ptrs[pa+li] = p
+			if err := wx.storeLane(s, &w.in2, li, p); err != nil {
+				return 0, err
+			}
+		}
+		return ctlNone, nil
+	case wCmpJZ:
+		if w.dead {
+			return wx.cmpJZFast(s, w)
+		}
+		if _, err := wx.execInstr(s, &w.in); err != nil {
+			return 0, err
+		}
+		return wx.execInstr(s, &w.in2)
+	default: // wAddKJmp: charge batching is the win; reuse the plain ops
+		if _, err := wx.execInstr(s, &w.in); err != nil {
+			return 0, err
+		}
+		return wx.execInstr(s, &w.in2)
+	}
+}
+
+// loadIdxFast is the dead-temp path of a fused indexed load: the formed
+// pointer is consumed only by this load, so it is never materialized —
+// the lane's address arithmetic feeds the ThreadCtx entry point directly.
+// Dispatch mirrors loadLane (and so vm.go's opLoad fast paths) exactly.
+func (wx *warpExec) loadIdxFast(s *strand, w *winstr) (uint8, error) {
+	ws := wx.ws
+	W := ws.W
+	ptrs, ints, floats := ws.ptrs, ws.ints, ws.floats
+	pb := int(s.bP+w.in.b) * W
+	ic := int(s.bI+w.in.c) * W
+	elem := int(w.in.k)
+	in2 := &w.in2
+	switch {
+	case in2.kind == bankF && in2.t.Kind == KFloat:
+		da := int(s.bF+in2.a) * W
+		for _, l := range s.lanes {
+			li := int(l)
+			bp := &ptrs[pb+li]
+			off := int(ints[ic+li]) * elem
+			switch bp.Space {
+			case SpaceShared:
+				f, err := ws.lanes[li].SharedLoadFloat32((bp.Off + off) / 4)
+				if err != nil {
+					return 0, err
+				}
+				floats[da+li] = float64(f)
+			case SpaceGlobal:
+				f, err := ws.lanes[li].LoadFloat32(bp.Glob.Offset(off), 0)
+				if err != nil {
+					return 0, err
+				}
+				floats[da+li] = float64(f)
+			default:
+				if err := wx.loadLane(s, in2, li, bp.offset(off)); err != nil {
+					return 0, err
+				}
+			}
+		}
+	case in2.kind == bankI && in2.t.Kind != KFloat:
+		size4 := in2.t.Size() == 4
+		da := int(s.bI+in2.a) * W
+		for _, l := range s.lanes {
+			li := int(l)
+			bp := &ptrs[pb+li]
+			off := int(ints[ic+li]) * elem
+			switch {
+			case bp.Space == SpaceShared:
+				iv, err := ws.lanes[li].SharedLoadInt32((bp.Off + off) / 4)
+				if err != nil {
+					return 0, err
+				}
+				ints[da+li] = truncInt(in2.t, int64(iv))
+			case bp.Space == SpaceGlobal && size4:
+				iv, err := ws.lanes[li].LoadInt32(bp.Glob.Offset(off), 0)
+				if err != nil {
+					return 0, err
+				}
+				ints[da+li] = truncInt(in2.t, int64(iv))
+			default:
+				if err := wx.loadLane(s, in2, li, bp.offset(off)); err != nil {
+					return 0, err
+				}
+			}
+		}
+	default:
+		for _, l := range s.lanes {
+			li := int(l)
+			bp := &ptrs[pb+li]
+			if err := wx.loadLane(s, in2, li, bp.offset(int(ints[ic+li])*elem)); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return ctlNone, nil
+}
+
+// storeIdxFast is the dead-temp path of a fused indexed store, the mirror
+// of loadIdxFast for opStoreI/opStoreF.
+func (wx *warpExec) storeIdxFast(s *strand, w *winstr) (uint8, error) {
+	ws := wx.ws
+	W := ws.W
+	ptrs, ints, floats := ws.ptrs, ws.ints, ws.floats
+	pb := int(s.bP+w.in.b) * W
+	ic := int(s.bI+w.in.c) * W
+	elem := int(w.in.k)
+	in2 := &w.in2
+	switch {
+	case in2.op == opStoreF && in2.t.Kind == KFloat:
+		vc := int(s.bF+in2.c) * W
+		for _, l := range s.lanes {
+			li := int(l)
+			bp := &ptrs[pb+li]
+			off := int(ints[ic+li]) * elem
+			fv := float32(floats[vc+li])
+			switch bp.Space {
+			case SpaceShared:
+				if err := ws.lanes[li].SharedStoreFloat32((bp.Off+off)/4, fv); err != nil {
+					return 0, err
+				}
+			case SpaceGlobal:
+				if err := ws.lanes[li].StoreFloat32(bp.Glob.Offset(off), 0, fv); err != nil {
+					return 0, err
+				}
+			default:
+				if err := wx.storeLane(s, in2, li, bp.offset(off)); err != nil {
+					return 0, err
+				}
+			}
+		}
+	case in2.op == opStoreI && in2.t.Kind != KFloat:
+		size4 := in2.t.Size() == 4
+		vc := int(s.bI+in2.c) * W
+		for _, l := range s.lanes {
+			li := int(l)
+			bp := &ptrs[pb+li]
+			off := int(ints[ic+li]) * elem
+			iv := int32(ints[vc+li])
+			switch {
+			case bp.Space == SpaceShared:
+				if err := ws.lanes[li].SharedStoreInt32((bp.Off+off)/4, iv); err != nil {
+					return 0, err
+				}
+			case bp.Space == SpaceGlobal && size4:
+				if err := ws.lanes[li].StoreInt32(bp.Glob.Offset(off), 0, iv); err != nil {
+					return 0, err
+				}
+			default:
+				if err := wx.storeLane(s, in2, li, bp.offset(off)); err != nil {
+					return 0, err
+				}
+			}
+		}
+	default:
+		for _, l := range s.lanes {
+			li := int(l)
+			bp := &ptrs[pb+li]
+			if err := wx.storeLane(s, in2, li, bp.offset(int(ints[ic+li])*elem)); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return ctlNone, nil
+}
+
+// cmpJZFast is the dead-temp path of a fused compare-and-branch: the
+// compare result register is consumed only by the jump, so each lane's
+// branch direction is computed directly from the compared operands.
+func (wx *warpExec) cmpJZFast(s *strand, w *winstr) (uint8, error) {
+	ws := wx.ws
+	W := ws.W
+	ints, floats := ws.ints, ws.floats
+	lanes := s.lanes
+	ws.acc.branches += int64(len(lanes))
+	wantTaken := w.in2.op == opJNZ
+	jb, sb := wx.jumpBuf[:0], wx.stayBuf[:0]
+	switch w.in.op {
+	case opCmpI:
+		b, c := int(s.bI+w.in.b)*W, int(s.bI+w.in.c)*W
+		for _, l := range lanes {
+			if (cmpIRes(w.in.aux, ints[b+int(l)], ints[c+int(l)]) != 0) == wantTaken {
+				jb = append(jb, l)
+			} else {
+				sb = append(sb, l)
+			}
+		}
+	case opCmpU:
+		b, c := int(s.bI+w.in.b)*W, int(s.bI+w.in.c)*W
+		for _, l := range lanes {
+			if (cmpURes(w.in.aux, uint32(ints[b+int(l)]), uint32(ints[c+int(l)])) != 0) == wantTaken {
+				jb = append(jb, l)
+			} else {
+				sb = append(sb, l)
+			}
+		}
+	default: // opCmpF
+		b, c := int(s.bF+w.in.b)*W, int(s.bF+w.in.c)*W
+		for _, l := range lanes {
+			if (cmpFRes(w.in.aux, floats[b+int(l)], floats[c+int(l)]) != 0) == wantTaken {
+				jb = append(jb, l)
+			} else {
+				sb = append(sb, l)
+			}
+		}
+	}
+	wx.jumpBuf, wx.stayBuf = jb, sb
+	return wx.finishBranch(s, w.in2.aux)
+}
+
+// finishBranch resolves a branch whose lanes have been partitioned into
+// wx.jumpBuf (taken) and wx.stayBuf (fall-through). A uniform branch is a
+// plain jump; a divergent one splits the strand: the fall-through lanes
+// stay in s and the taken lanes continue in a fresh strand at target.
+func (wx *warpExec) finishBranch(s *strand, target int32) (uint8, error) {
+	jb, sb := wx.jumpBuf, wx.stayBuf
+	if len(sb) == 0 { // uniform taken
+		s.pc = target
+		return ctlNone, nil
+	}
+	if len(jb) == 0 { // uniform not-taken
+		return ctlNone, nil
+	}
+	ws := wx.ws
+	ns := ws.newStrand()
+	ns.pc = target
+	ns.fn, ns.bI, ns.bF, ns.bP, ns.depth = s.fn, s.bI, s.bF, s.bP, s.depth
+	ns.stack = append(ns.stack[:0], s.stack...)
+	ns.steps = s.steps
+	for _, l := range jb {
+		ns.base[l] = s.base[l]
+	}
+	ns.lanes = append(ns.lanes[:0], jb...)
+	ns.recomputeMaxBase()
+	s.lanes = append(s.lanes[:0], sb...)
+	s.recomputeMaxBase()
+	wx.split = ns
+	return ctlSplit, nil
+}
+
+// loadLane performs opLoad's per-lane effect with pointer p, mirroring the
+// VM's fast paths exactly (vm.go opLoad).
+func (wx *warpExec) loadLane(s *strand, in *instr, li int, p Pointer) error {
+	ws := wx.ws
+	W := ws.W
+	tc := ws.lanes[li]
+	if in.kind == bankF && in.t.Kind == KFloat {
+		if p.Space == SpaceGlobal {
+			f, err := tc.LoadFloat32(p.Glob, 0)
+			if err != nil {
+				return err
+			}
+			ws.floats[int(s.bF+in.a)*W+li] = float64(f)
+			return nil
+		}
+		if p.Space == SpaceShared {
+			f, err := tc.SharedLoadFloat32(p.Off / 4)
+			if err != nil {
+				return err
+			}
+			ws.floats[int(s.bF+in.a)*W+li] = float64(f)
+			return nil
+		}
+	} else if in.kind == bankI && in.t.Kind != KFloat {
+		if p.Space == SpaceGlobal && in.t.Size() == 4 {
+			i, err := tc.LoadInt32(p.Glob, 0)
+			if err != nil {
+				return err
+			}
+			ws.ints[int(s.bI+in.a)*W+li] = truncInt(in.t, int64(i))
+			return nil
+		}
+		if p.Space == SpaceShared {
+			i, err := tc.SharedLoadInt32(p.Off / 4)
+			if err != nil {
+				return err
+			}
+			ws.ints[int(s.bI+in.a)*W+li] = truncInt(in.t, int64(i))
+			return nil
+		}
+	}
+	v, err := loadMem(tc, p, in.t)
+	if err != nil {
+		return err
+	}
+	switch in.kind {
+	case bankI:
+		ws.ints[int(s.bI+in.a)*W+li] = v.I
+	case bankF:
+		ws.floats[int(s.bF+in.a)*W+li] = v.F
+	default:
+		ws.ptrs[int(s.bP+in.a)*W+li] = v.P
+	}
+	return nil
+}
+
+// storeLane performs opStoreI/opStoreF's per-lane effect with pointer p,
+// mirroring the VM's fast paths exactly.
+func (wx *warpExec) storeLane(s *strand, in *instr, li int, p Pointer) error {
+	ws := wx.ws
+	W := ws.W
+	tc := ws.lanes[li]
+	if in.op == opStoreF {
+		fv := ws.floats[int(s.bF+in.c)*W+li]
+		if in.t.Kind == KFloat {
+			if p.Space == SpaceGlobal {
+				return tc.StoreFloat32(p.Glob, 0, float32(fv))
+			}
+			if p.Space == SpaceShared {
+				return tc.SharedStoreFloat32(p.Off/4, float32(fv))
+			}
+		}
+		return storeMem(tc, p, in.t, Value{T: in.t, F: fv})
+	}
+	iv := ws.ints[int(s.bI+in.c)*W+li]
+	if in.t.Kind != KFloat {
+		if p.Space == SpaceGlobal && in.t.Size() == 4 {
+			return tc.StoreInt32(p.Glob, 0, int32(iv))
+		}
+		if p.Space == SpaceShared {
+			return tc.SharedStoreInt32(p.Off/4, int32(iv))
+		}
+	}
+	return storeMem(tc, p, in.t, Value{T: in.t, I: iv})
+}
+
+// execInstr applies one bytecode instruction across the active lanes of s.
+// Step and ALU charges are the caller's responsibility; op-internal
+// charges (special-function, branch, barrier) happen here, batched into
+// the warp accumulator.
+func (wx *warpExec) execInstr(s *strand, in *instr) (uint8, error) {
+	ws := wx.ws
+	W := ws.W
+	ints, floats, ptrs := ws.ints, ws.floats, ws.ptrs
+	lanes := s.lanes
+	switch in.op {
+	case opStep:
+	case opLoadKI:
+		a := int(s.bI+in.a) * W
+		for _, l := range lanes {
+			ints[a+int(l)] = in.k
+		}
+	case opLoadKF:
+		a := int(s.bF+in.a) * W
+		for _, l := range lanes {
+			floats[a+int(l)] = in.f
+		}
+	case opMovI:
+		a, b := int(s.bI+in.a)*W, int(s.bI+in.b)*W
+		for _, l := range lanes {
+			ints[a+int(l)] = ints[b+int(l)]
+		}
+	case opMovF:
+		a, b := int(s.bF+in.a)*W, int(s.bF+in.b)*W
+		for _, l := range lanes {
+			floats[a+int(l)] = floats[b+int(l)]
+		}
+	case opMovP:
+		a, b := int(s.bP+in.a)*W, int(s.bP+in.b)*W
+		for _, l := range lanes {
+			ptrs[a+int(l)] = ptrs[b+int(l)]
+		}
+	case opZeroP:
+		a := int(s.bP+in.a) * W
+		for _, l := range lanes {
+			ptrs[a+int(l)] = Pointer{}
+		}
+	case opLeaShared:
+		a := int(s.bP+in.a) * W
+		for _, l := range lanes {
+			ptrs[a+int(l)] = Pointer{Space: SpaceShared, Off: int(in.k)}
+		}
+	case opLeaConst:
+		a := int(s.bP+in.a) * W
+		for _, l := range lanes {
+			ptrs[a+int(l)] = Pointer{Space: SpaceConst, Off: int(in.k)}
+		}
+	case opAllocLocal:
+		a := int(s.bP+in.a) * W
+		t := in.t
+		n := t.Size() / t.ElemBase().Size()
+		for _, l := range lanes {
+			buf := &localBuf{vals: make([]Value, n), elem: t.ElemBase()}
+			for i := range buf.vals {
+				buf.vals[i] = Value{T: buf.elem}
+			}
+			ptrs[a+int(l)] = Pointer{Space: SpaceLocal, Elem: t, Local: buf}
+		}
+	case opThreadDim:
+		a := int(s.bI+in.a) * W
+		for _, l := range lanes {
+			ints[a+int(l)] = int64(ws.dims[l][in.aux])
+		}
+	case opWorkItem:
+		a, b := int(s.bI+in.a)*W, int(s.bI+in.b)*W
+		for _, l := range lanes {
+			li := int(l)
+			dim := ints[b+li]
+			dims := &ws.dims[l]
+			var v int
+			switch in.aux {
+			case wiGlobalID:
+				v = dimPick(dims, 1, dim)*dimPick(dims, 2, dim) + dimPick(dims, 0, dim)
+			case wiLocalID:
+				v = dimPick(dims, 0, dim)
+			case wiGroupID:
+				v = dimPick(dims, 1, dim)
+			case wiLocalSize:
+				v = dimPick(dims, 2, dim)
+			case wiNumGroups:
+				v = dimPick(dims, 3, dim)
+			case wiGlobalSize:
+				v = dimPick(dims, 3, dim) * dimPick(dims, 2, dim)
+			}
+			ints[a+li] = int64(int32(v))
+		}
+	case opI2F:
+		a, b := int(s.bF+in.a)*W, int(s.bI+in.b)*W
+		for _, l := range lanes {
+			floats[a+int(l)] = float64(float32(ints[b+int(l)]))
+		}
+	case opI2FRaw:
+		a, b := int(s.bF+in.a)*W, int(s.bI+in.b)*W
+		for _, l := range lanes {
+			floats[a+int(l)] = float64(ints[b+int(l)])
+		}
+	case opF2I:
+		a, b := int(s.bI+in.a)*W, int(s.bF+in.b)*W
+		for _, l := range lanes {
+			ints[a+int(l)] = truncInt(in.t, int64(floats[b+int(l)]))
+		}
+	case opF2IRaw:
+		a, b := int(s.bI+in.a)*W, int(s.bF+in.b)*W
+		for _, l := range lanes {
+			ints[a+int(l)] = int64(floats[b+int(l)])
+		}
+	case opF2F:
+		a, b := int(s.bF+in.a)*W, int(s.bF+in.b)*W
+		for _, l := range lanes {
+			floats[a+int(l)] = round32(floats[b+int(l)])
+		}
+	case opTruncI:
+		a, b := int(s.bI+in.a)*W, int(s.bI+in.b)*W
+		for _, l := range lanes {
+			ints[a+int(l)] = truncInt(in.t, ints[b+int(l)])
+		}
+	case opAddI:
+		a, b, c := int(s.bI+in.a)*W, int(s.bI+in.b)*W, int(s.bI+in.c)*W
+		for _, l := range lanes {
+			ints[a+int(l)] = truncInt(in.t, ints[b+int(l)]+ints[c+int(l)])
+		}
+	case opSubI:
+		a, b, c := int(s.bI+in.a)*W, int(s.bI+in.b)*W, int(s.bI+in.c)*W
+		for _, l := range lanes {
+			ints[a+int(l)] = truncInt(in.t, ints[b+int(l)]-ints[c+int(l)])
+		}
+	case opMulI:
+		a, b, c := int(s.bI+in.a)*W, int(s.bI+in.b)*W, int(s.bI+in.c)*W
+		for _, l := range lanes {
+			ints[a+int(l)] = truncInt(in.t, ints[b+int(l)]*ints[c+int(l)])
+		}
+	case opDivI:
+		a, b, c := int(s.bI+in.a)*W, int(s.bI+in.b)*W, int(s.bI+in.c)*W
+		for _, l := range lanes {
+			cv := ints[c+int(l)]
+			if cv == 0 {
+				return 0, ErrDivByZero
+			}
+			ints[a+int(l)] = truncInt(in.t, ints[b+int(l)]/cv)
+		}
+	case opModI:
+		a, b, c := int(s.bI+in.a)*W, int(s.bI+in.b)*W, int(s.bI+in.c)*W
+		for _, l := range lanes {
+			cv := ints[c+int(l)]
+			if cv == 0 {
+				return 0, ErrDivByZero
+			}
+			ints[a+int(l)] = truncInt(in.t, ints[b+int(l)]%cv)
+		}
+	case opDivU:
+		a, b, c := int(s.bI+in.a)*W, int(s.bI+in.b)*W, int(s.bI+in.c)*W
+		for _, l := range lanes {
+			cv := uint32(ints[c+int(l)])
+			if cv == 0 {
+				return 0, ErrDivByZero
+			}
+			ints[a+int(l)] = truncInt(in.t, int64(uint32(ints[b+int(l)])/cv))
+		}
+	case opModU:
+		a, b, c := int(s.bI+in.a)*W, int(s.bI+in.b)*W, int(s.bI+in.c)*W
+		for _, l := range lanes {
+			cv := uint32(ints[c+int(l)])
+			if cv == 0 {
+				return 0, ErrDivByZero
+			}
+			ints[a+int(l)] = truncInt(in.t, int64(uint32(ints[b+int(l)])%cv))
+		}
+	case opAndI:
+		a, b, c := int(s.bI+in.a)*W, int(s.bI+in.b)*W, int(s.bI+in.c)*W
+		for _, l := range lanes {
+			ints[a+int(l)] = truncInt(in.t, ints[b+int(l)]&ints[c+int(l)])
+		}
+	case opOrI:
+		a, b, c := int(s.bI+in.a)*W, int(s.bI+in.b)*W, int(s.bI+in.c)*W
+		for _, l := range lanes {
+			ints[a+int(l)] = truncInt(in.t, ints[b+int(l)]|ints[c+int(l)])
+		}
+	case opXorI:
+		a, b, c := int(s.bI+in.a)*W, int(s.bI+in.b)*W, int(s.bI+in.c)*W
+		for _, l := range lanes {
+			ints[a+int(l)] = truncInt(in.t, ints[b+int(l)]^ints[c+int(l)])
+		}
+	case opShlI:
+		a, b, c := int(s.bI+in.a)*W, int(s.bI+in.b)*W, int(s.bI+in.c)*W
+		for _, l := range lanes {
+			ints[a+int(l)] = truncInt(in.t, ints[b+int(l)]<<(uint(ints[c+int(l)])&31))
+		}
+	case opShrI:
+		a, b, c := int(s.bI+in.a)*W, int(s.bI+in.b)*W, int(s.bI+in.c)*W
+		for _, l := range lanes {
+			ints[a+int(l)] = truncInt(in.t, int64(int32(ints[b+int(l)])>>(uint(ints[c+int(l)])&31)))
+		}
+	case opShrU:
+		a, b, c := int(s.bI+in.a)*W, int(s.bI+in.b)*W, int(s.bI+in.c)*W
+		for _, l := range lanes {
+			ints[a+int(l)] = truncInt(in.t, int64(uint32(ints[b+int(l)])>>(uint(ints[c+int(l)])&31)))
+		}
+	case opNegI:
+		a, b := int(s.bI+in.a)*W, int(s.bI+in.b)*W
+		for _, l := range lanes {
+			ints[a+int(l)] = truncInt(in.t, -ints[b+int(l)])
+		}
+	case opNotI:
+		a, b := int(s.bI+in.a)*W, int(s.bI+in.b)*W
+		for _, l := range lanes {
+			ints[a+int(l)] = truncInt(in.t, ^ints[b+int(l)])
+		}
+	case opAddKI:
+		a, b := int(s.bI+in.a)*W, int(s.bI+in.b)*W
+		for _, l := range lanes {
+			ints[a+int(l)] = truncInt(in.t, ints[b+int(l)]+in.k)
+		}
+	case opMinI:
+		a, b, c := int(s.bI+in.a)*W, int(s.bI+in.b)*W, int(s.bI+in.c)*W
+		for _, l := range lanes {
+			x, y := ints[b+int(l)], ints[c+int(l)]
+			if y < x {
+				x = y
+			}
+			ints[a+int(l)] = truncInt(in.t, x)
+		}
+	case opMaxI:
+		a, b, c := int(s.bI+in.a)*W, int(s.bI+in.b)*W, int(s.bI+in.c)*W
+		for _, l := range lanes {
+			x, y := ints[b+int(l)], ints[c+int(l)]
+			if y > x {
+				x = y
+			}
+			ints[a+int(l)] = truncInt(in.t, x)
+		}
+	case opAbsI:
+		a, b := int(s.bI+in.a)*W, int(s.bI+in.b)*W
+		for _, l := range lanes {
+			v := ints[b+int(l)]
+			if v < 0 {
+				v = -v
+			}
+			ints[a+int(l)] = truncInt(TypeInt, v)
+		}
+	case opLNotI:
+		a, b := int(s.bI+in.a)*W, int(s.bI+in.b)*W
+		for _, l := range lanes {
+			if ints[b+int(l)] != 0 {
+				ints[a+int(l)] = 0
+			} else {
+				ints[a+int(l)] = 1
+			}
+		}
+	case opLNotF:
+		a, b := int(s.bI+in.a)*W, int(s.bF+in.b)*W
+		for _, l := range lanes {
+			if floats[b+int(l)] != 0 {
+				ints[a+int(l)] = 0
+			} else {
+				ints[a+int(l)] = 1
+			}
+		}
+	case opLNotP:
+		a, b := int(s.bI+in.a)*W, int(s.bP+in.b)*W
+		for _, l := range lanes {
+			if ptrTruthy(ptrs[b+int(l)]) {
+				ints[a+int(l)] = 0
+			} else {
+				ints[a+int(l)] = 1
+			}
+		}
+	case opTruthyI:
+		a, b := int(s.bI+in.a)*W, int(s.bI+in.b)*W
+		for _, l := range lanes {
+			if ints[b+int(l)] != 0 {
+				ints[a+int(l)] = 1
+			} else {
+				ints[a+int(l)] = 0
+			}
+		}
+	case opTruthyF:
+		a, b := int(s.bI+in.a)*W, int(s.bF+in.b)*W
+		for _, l := range lanes {
+			if floats[b+int(l)] != 0 {
+				ints[a+int(l)] = 1
+			} else {
+				ints[a+int(l)] = 0
+			}
+		}
+	case opTruthyP:
+		a, b := int(s.bI+in.a)*W, int(s.bP+in.b)*W
+		for _, l := range lanes {
+			if ptrTruthy(ptrs[b+int(l)]) {
+				ints[a+int(l)] = 1
+			} else {
+				ints[a+int(l)] = 0
+			}
+		}
+	case opAddF:
+		a, b, c := int(s.bF+in.a)*W, int(s.bF+in.b)*W, int(s.bF+in.c)*W
+		for _, l := range lanes {
+			floats[a+int(l)] = round32(floats[b+int(l)] + floats[c+int(l)])
+		}
+	case opSubF:
+		a, b, c := int(s.bF+in.a)*W, int(s.bF+in.b)*W, int(s.bF+in.c)*W
+		for _, l := range lanes {
+			floats[a+int(l)] = round32(floats[b+int(l)] - floats[c+int(l)])
+		}
+	case opMulF:
+		a, b, c := int(s.bF+in.a)*W, int(s.bF+in.b)*W, int(s.bF+in.c)*W
+		for _, l := range lanes {
+			floats[a+int(l)] = round32(floats[b+int(l)] * floats[c+int(l)])
+		}
+	case opDivF:
+		a, b, c := int(s.bF+in.a)*W, int(s.bF+in.b)*W, int(s.bF+in.c)*W
+		for _, l := range lanes {
+			floats[a+int(l)] = round32(floats[b+int(l)] / floats[c+int(l)])
+		}
+	case opNegF:
+		a, b := int(s.bF+in.a)*W, int(s.bF+in.b)*W
+		for _, l := range lanes {
+			floats[a+int(l)] = round32(-floats[b+int(l)])
+		}
+	case opAddKF:
+		a, b := int(s.bF+in.a)*W, int(s.bF+in.b)*W
+		for _, l := range lanes {
+			floats[a+int(l)] = round32(floats[b+int(l)] + in.f)
+		}
+	case opMinF:
+		a, b, c := int(s.bF+in.a)*W, int(s.bF+in.b)*W, int(s.bF+in.c)*W
+		for _, l := range lanes {
+			floats[a+int(l)] = round32(math.Min(floats[b+int(l)], floats[c+int(l)]))
+		}
+	case opMaxF:
+		a, b, c := int(s.bF+in.a)*W, int(s.bF+in.b)*W, int(s.bF+in.c)*W
+		for _, l := range lanes {
+			floats[a+int(l)] = round32(math.Max(floats[b+int(l)], floats[c+int(l)]))
+		}
+	case opFAbsF:
+		a, b := int(s.bF+in.a)*W, int(s.bF+in.b)*W
+		for _, l := range lanes {
+			floats[a+int(l)] = round32(math.Abs(floats[b+int(l)]))
+		}
+	case opFloor:
+		a, b := int(s.bF+in.a)*W, int(s.bF+in.b)*W
+		for _, l := range lanes {
+			floats[a+int(l)] = round32(math.Floor(floats[b+int(l)]))
+		}
+	case opCeil:
+		a, b := int(s.bF+in.a)*W, int(s.bF+in.b)*W
+		for _, l := range lanes {
+			floats[a+int(l)] = round32(math.Ceil(floats[b+int(l)]))
+		}
+	case opSqrt:
+		ws.acc.special += int64(len(lanes))
+		a, b := int(s.bF+in.a)*W, int(s.bF+in.b)*W
+		for _, l := range lanes {
+			floats[a+int(l)] = round32(math.Sqrt(floats[b+int(l)]))
+		}
+	case opRsqrt:
+		ws.acc.special += int64(len(lanes))
+		a, b := int(s.bF+in.a)*W, int(s.bF+in.b)*W
+		for _, l := range lanes {
+			floats[a+int(l)] = round32(1 / math.Sqrt(floats[b+int(l)]))
+		}
+	case opExp:
+		ws.acc.special += int64(len(lanes))
+		a, b := int(s.bF+in.a)*W, int(s.bF+in.b)*W
+		for _, l := range lanes {
+			floats[a+int(l)] = round32(math.Exp(floats[b+int(l)]))
+		}
+	case opLog:
+		ws.acc.special += int64(len(lanes))
+		a, b := int(s.bF+in.a)*W, int(s.bF+in.b)*W
+		for _, l := range lanes {
+			floats[a+int(l)] = round32(math.Log(floats[b+int(l)]))
+		}
+	case opPow:
+		ws.acc.special += int64(len(lanes))
+		a, b, c := int(s.bF+in.a)*W, int(s.bF+in.b)*W, int(s.bF+in.c)*W
+		for _, l := range lanes {
+			floats[a+int(l)] = round32(math.Pow(floats[b+int(l)], floats[c+int(l)]))
+		}
+	case opSin:
+		ws.acc.special += int64(len(lanes))
+		a, b := int(s.bF+in.a)*W, int(s.bF+in.b)*W
+		for _, l := range lanes {
+			floats[a+int(l)] = round32(math.Sin(floats[b+int(l)]))
+		}
+	case opCos:
+		ws.acc.special += int64(len(lanes))
+		a, b := int(s.bF+in.a)*W, int(s.bF+in.b)*W
+		for _, l := range lanes {
+			floats[a+int(l)] = round32(math.Cos(floats[b+int(l)]))
+		}
+	case opCmpI:
+		a, b, c := int(s.bI+in.a)*W, int(s.bI+in.b)*W, int(s.bI+in.c)*W
+		for _, l := range lanes {
+			ints[a+int(l)] = cmpIRes(in.aux, ints[b+int(l)], ints[c+int(l)])
+		}
+	case opCmpU:
+		a, b, c := int(s.bI+in.a)*W, int(s.bI+in.b)*W, int(s.bI+in.c)*W
+		for _, l := range lanes {
+			ints[a+int(l)] = cmpURes(in.aux, uint32(ints[b+int(l)]), uint32(ints[c+int(l)]))
+		}
+	case opCmpF:
+		a, b, c := int(s.bI+in.a)*W, int(s.bF+in.b)*W, int(s.bF+in.c)*W
+		for _, l := range lanes {
+			ints[a+int(l)] = cmpFRes(in.aux, floats[b+int(l)], floats[c+int(l)])
+		}
+	case opCmpP:
+		a, b, c := int(s.bI+in.a)*W, int(s.bP+in.b)*W, int(s.bP+in.c)*W
+		for _, l := range lanes {
+			ints[a+int(l)] = cmpPRes(in.aux, ptrs[b+int(l)], ptrs[c+int(l)])
+		}
+	case opPAdd:
+		// Open-coded Pointer.offset: writing through a destination pointer
+		// copies the ~48-byte struct once instead of twice (arg + return),
+		// and this is the hottest pointer op (2-D indexing leaves one
+		// unfused opPAdd per access for the row pointer).
+		a, b, c := int(s.bP+in.a)*W, int(s.bP+in.b)*W, int(s.bI+in.c)*W
+		for _, l := range lanes {
+			li := int(l)
+			n := int(ints[c+li]) * int(in.k)
+			p := &ptrs[a+li]
+			*p = ptrs[b+li]
+			if p.Space == SpaceGlobal {
+				p.Glob = p.Glob.Offset(n)
+			} else {
+				p.Off += n
+			}
+		}
+	case opPAddK:
+		a, b := int(s.bP+in.a)*W, int(s.bP+in.b)*W
+		for _, l := range lanes {
+			li := int(l)
+			p := &ptrs[a+li]
+			*p = ptrs[b+li]
+			if p.Space == SpaceGlobal {
+				p.Glob = p.Glob.Offset(int(in.k))
+			} else {
+				p.Off += int(in.k)
+			}
+		}
+	case opPDiff:
+		a, b, c := int(s.bI+in.a)*W, int(s.bP+in.b)*W, int(s.bP+in.c)*W
+		for _, l := range lanes {
+			ints[a+int(l)] = truncInt(TypeInt, int64(ptrDelta(ptrs[b+int(l)], ptrs[c+int(l)])/int(in.k)))
+		}
+	case opLoad:
+		b := int(s.bP+in.b) * W
+		for _, l := range lanes {
+			li := int(l)
+			if err := wx.loadLane(s, in, li, ptrs[b+li]); err != nil {
+				return 0, err
+			}
+		}
+	case opStoreI, opStoreF:
+		b := int(s.bP+in.b) * W
+		for _, l := range lanes {
+			li := int(l)
+			if err := wx.storeLane(s, in, li, ptrs[b+li]); err != nil {
+				return 0, err
+			}
+		}
+	case opStoreP:
+		b, c := int(s.bP+in.b)*W, int(s.bP+in.c)*W
+		for _, l := range lanes {
+			li := int(l)
+			if err := storeMem(ws.lanes[li], ptrs[b+li], in.t, Value{T: in.t, P: ptrs[c+li]}); err != nil {
+				return 0, err
+			}
+		}
+	case opJmp:
+		s.pc = in.aux
+	case opJZ, opJNZ:
+		ws.acc.branches += int64(len(lanes))
+		jb, sb := wx.jumpBuf[:0], wx.stayBuf[:0]
+		wantTaken := in.op == opJNZ
+		switch in.kind {
+		case bankI:
+			b := int(s.bI+in.b) * W
+			for _, l := range lanes {
+				if (ints[b+int(l)] != 0) == wantTaken {
+					jb = append(jb, l)
+				} else {
+					sb = append(sb, l)
+				}
+			}
+		case bankF:
+			b := int(s.bF+in.b) * W
+			for _, l := range lanes {
+				if (floats[b+int(l)] != 0) == wantTaken {
+					jb = append(jb, l)
+				} else {
+					sb = append(sb, l)
+				}
+			}
+		default:
+			b := int(s.bP+in.b) * W
+			for _, l := range lanes {
+				if ptrTruthy(ptrs[b+int(l)]) == wantTaken {
+					jb = append(jb, l)
+				} else {
+					sb = append(sb, l)
+				}
+			}
+		}
+		wx.jumpBuf, wx.stayBuf = jb, sb
+		return wx.finishBranch(s, in.aux)
+	case opCheckDepth:
+		if s.depth >= maxCallDepth {
+			return 0, ErrCallDepth
+		}
+	case opCall:
+		cs := wx.wp.bc.calls[in.aux]
+		tgt := cs.target
+		nbI, nbF, nbP := s.bI+s.fn.numI, s.bF+s.fn.numF, s.bP+s.fn.numP
+		ws.ints = grow(ws.ints, int(nbI+tgt.numI)*W)
+		ws.floats = grow(ws.floats, int(nbF+tgt.numF)*W)
+		ws.ptrs = grow(ws.ptrs, int(nbP+tgt.numP)*W)
+		ints, floats, ptrs = ws.ints, ws.floats, ws.ptrs
+		for _, m := range cs.moves {
+			switch m.bank {
+			case bankI:
+				d, src := int(nbI+m.dst)*W, int(s.bI+m.src)*W
+				for _, l := range lanes {
+					ints[d+int(l)] = ints[src+int(l)]
+				}
+			case bankF:
+				d, src := int(nbF+m.dst)*W, int(s.bF+m.src)*W
+				for _, l := range lanes {
+					floats[d+int(l)] = floats[src+int(l)]
+				}
+			default:
+				d, src := int(nbP+m.dst)*W, int(s.bP+m.src)*W
+				for _, l := range lanes {
+					ptrs[d+int(l)] = ptrs[src+int(l)]
+				}
+			}
+		}
+		var dstAbs int32
+		switch cs.dst.bank {
+		case bankI:
+			dstAbs = s.bI + cs.dst.reg
+		case bankF:
+			dstAbs = s.bF + cs.dst.reg
+		case bankP:
+			dstAbs = s.bP + cs.dst.reg
+		}
+		s.stack = append(s.stack, vmRet{pc: s.pc, bI: s.bI, bF: s.bF, bP: s.bP,
+			fn: s.fn, dstBank: cs.dst.bank, dstReg: dstAbs})
+		s.bI, s.bF, s.bP = nbI, nbF, nbP
+		s.fn = tgt
+		s.pc = wx.wp.callEntry[in.aux]
+		s.depth++
+	case opRet:
+		if len(s.stack) == 0 {
+			return ctlExit, nil
+		}
+		fr := s.stack[len(s.stack)-1]
+		s.stack = s.stack[:len(s.stack)-1]
+		switch fr.dstBank {
+		case bankI:
+			d := int(fr.dstReg) * W
+			if in.kind == bankI {
+				b := int(s.bI+in.b) * W
+				for _, l := range lanes {
+					ints[d+int(l)] = ints[b+int(l)]
+				}
+			} else {
+				for _, l := range lanes {
+					ints[d+int(l)] = 0
+				}
+			}
+		case bankF:
+			d := int(fr.dstReg) * W
+			if in.kind == bankF {
+				b := int(s.bF+in.b) * W
+				for _, l := range lanes {
+					floats[d+int(l)] = floats[b+int(l)]
+				}
+			} else {
+				for _, l := range lanes {
+					floats[d+int(l)] = 0
+				}
+			}
+		case bankP:
+			d := int(fr.dstReg) * W
+			if in.kind == bankP {
+				b := int(s.bP+in.b) * W
+				for _, l := range lanes {
+					ptrs[d+int(l)] = ptrs[b+int(l)]
+				}
+			} else {
+				for _, l := range lanes {
+					ptrs[d+int(l)] = Pointer{}
+				}
+			}
+		}
+		s.bI, s.bF, s.bP = fr.bI, fr.bF, fr.bP
+		s.fn = fr.fn
+		s.pc = fr.pc
+		s.depth--
+	case opSync:
+		n := len(lanes)
+		ws.acc.barriers += int64(n)
+		gen, released, err := wx.wc.SyncArrive(n)
+		if err != nil {
+			return 0, err
+		}
+		if released {
+			return ctlNone, nil
+		}
+		s.gen = gen
+		return ctlSync, nil
+	case opAtomic:
+		spec := wx.wp.bc.atomics[in.aux]
+		fval := atomFloatVal(spec)
+		pb := int(s.bP+in.b) * W
+		ic := int(s.bI+in.c) * W
+		fc := int(s.bF+in.c) * W
+		for _, l := range lanes {
+			li := int(l)
+			var iv, iv2 int64
+			var fv float64
+			if fval {
+				fv = floats[fc+li]
+			} else {
+				iv = ints[ic+li]
+			}
+			if spec.name == "atomicCAS" {
+				iv2 = ints[int(s.bI+spec.val2)*W+li]
+			}
+			v, err := vmAtomic(ws.lanes[li], spec, ptrs[pb+li], iv, fv, iv2)
+			if err != nil {
+				return 0, err
+			}
+			if in.kind == bankF {
+				floats[int(s.bF+in.a)*W+li] = v.F
+			} else {
+				ints[int(s.bI+in.a)*W+li] = v.I
+			}
+		}
+	case opTrap:
+		return 0, wx.wp.bc.traps[in.aux]
+	}
+	return ctlNone, nil
+}

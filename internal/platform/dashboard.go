@@ -57,9 +57,10 @@ func (s Status) Render() string {
 	// a kind that never appears on the dashboard cannot be told apart
 	// from one that was never wired up.
 	hitsByKind := map[string]int64{
-		"ast":         s.ProgCache.HitsAST,
-		"bytecode":    s.ProgCache.HitsBytecode,
-		"diagnostics": s.ProgCache.HitsDiagnostics,
+		"ast":           s.ProgCache.HitsAST,
+		"bytecode":      s.ProgCache.HitsBytecode,
+		"bytecode-warp": s.ProgCache.HitsBytecodeWarp,
+		"diagnostics":   s.ProgCache.HitsDiagnostics,
 	}
 	parts := make([]string, 0, len(hitsByKind))
 	for _, kind := range progcache.ArtifactKinds() {

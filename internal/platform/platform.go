@@ -131,6 +131,7 @@ func New(opts Options) *Platform {
 		r.Set("progcache_entries", float64(s.Size))
 		r.Set("progcache_evictions", float64(s.Evictions))
 		r.Set("progcache_hits_bytecode", float64(s.HitsBytecode))
+		r.Set("progcache_hits_bytecode_warp", float64(s.HitsBytecodeWarp))
 		r.Set("progcache_hits_ast", float64(s.HitsAST))
 		r.Set("progcache_hits_diagnostics", float64(s.HitsDiagnostics))
 		r.Set("progcache_bytecode_bytes", float64(s.BytecodeBytes))

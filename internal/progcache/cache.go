@@ -17,6 +17,7 @@ import (
 	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
+	"strings"
 	"sync"
 
 	"webgpu/internal/kernelcheck"
@@ -53,23 +54,30 @@ const DefaultCapacity = 4096
 
 // Stats is a point-in-time snapshot of the cache counters.
 type Stats struct {
-	Hits            int64 // served from the cache
-	HitsAST         int64 // hits on programs executed by the tree walker
-	HitsBytecode    int64 // hits on programs carrying a bytecode artifact
-	HitsDiagnostics int64 // diagnostics served without re-analysis
-	Misses          int64 // had to compile
-	Coalesced       int64 // waited on a concurrent identical compile
-	Evictions       int64 // entries dropped by the LRU bound
-	Compiles        int64 // underlying compile executions (== Misses)
-	Analyzes        int64 // kernelcheck runs (first request per entry)
-	Size            int   // entries currently cached
-	BytecodeBytes   int64 // lowered-bytecode bytes held by cached entries
+	Hits             int64 // served from the cache
+	HitsAST          int64 // hits on programs executed by the tree walker
+	HitsBytecode     int64 // hits on programs carrying a bytecode artifact
+	HitsBytecodeWarp int64 // hits on programs carrying a fused warp-stream artifact
+	HitsDiagnostics  int64 // diagnostics served without re-analysis
+	Misses           int64 // had to compile
+	Coalesced        int64 // waited on a concurrent identical compile
+	Evictions        int64 // entries dropped by the LRU bound
+	Compiles         int64 // underlying compile executions (== Misses)
+	Analyzes         int64 // kernelcheck runs (first request per entry)
+	Size             int   // entries currently cached
+	BytecodeBytes    int64 // lowered-bytecode bytes held by cached entries
 }
 
 // ArtifactKinds enumerates every per-kind hit counter the cache can
 // emit, so dashboards and metric registration see the full set up front
 // instead of series appearing lazily on first hit.
-func ArtifactKinds() []string { return []string{"ast", "bytecode", "diagnostics"} }
+func ArtifactKinds() []string { return []string{"ast", "bytecode", "bytecode-warp", "diagnostics"} }
+
+// hitMetric maps an artifact kind to its hit-counter series name; kinds
+// may contain hyphens ("bytecode-warp") but metric names stay snake_case.
+func hitMetric(kind string) string {
+	return "progcache_hits_" + strings.ReplaceAll(kind, "-", "_")
+}
 
 type entry struct {
 	key     string
@@ -120,7 +128,7 @@ func New(capacity int, reg *metrics.Registry) *Cache {
 		// dashboard scraping a fresh worker sees the complete set rather
 		// than series popping into existence at their first hit.
 		for _, kind := range ArtifactKinds() {
-			reg.Inc("progcache_hits_"+kind, 0)
+			reg.Inc(hitMetric(kind), 0)
 		}
 	}
 	return &Cache{
@@ -169,13 +177,22 @@ func (c *Cache) CompileStatus(src string, dialect minicuda.Dialect) (*minicuda.P
 		c.stats.Hits++
 		c.inc("progcache_hits")
 		// Split the hit by the executable artifact the program runs on, so
-		// the rollout of the register VM is observable per worker.
-		if e.prog != nil && e.prog.ArtifactKind() == "bytecode" {
+		// the rollout of each engine tier (tree walker -> register VM ->
+		// warp engine) is observable per worker.
+		kind := "ast"
+		if e.prog != nil {
+			kind = e.prog.ArtifactKind()
+		}
+		switch kind {
+		case "bytecode-warp":
+			c.stats.HitsBytecodeWarp++
+			c.inc(hitMetric(kind))
+		case "bytecode":
 			c.stats.HitsBytecode++
-			c.inc("progcache_hits_bytecode")
-		} else {
+			c.inc(hitMetric(kind))
+		default:
 			c.stats.HitsAST++
-			c.inc("progcache_hits_ast")
+			c.inc(hitMetric("ast"))
 		}
 		c.mu.Unlock()
 		return e.prog, Hit, e.err

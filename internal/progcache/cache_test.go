@@ -217,12 +217,24 @@ func TestArtifactStats(t *testing.T) {
 		t.Fatalf("status = %v, want Hit", st)
 	}
 	s = c.Stats()
-	if s.HitsBytecode+s.HitsAST != 1 || s.HitsBytecode+s.HitsAST != s.Hits {
-		t.Fatalf("hit split %d+%d does not cover %d hits",
-			s.HitsBytecode, s.HitsAST, s.Hits)
+	split := s.HitsBytecodeWarp + s.HitsBytecode + s.HitsAST
+	if split != 1 || split != s.Hits {
+		t.Fatalf("hit split %d+%d+%d does not cover %d hits",
+			s.HitsBytecodeWarp, s.HitsBytecode, s.HitsAST, s.Hits)
 	}
-	if p.ArtifactKind() == "bytecode" && s.HitsBytecode != 1 {
-		t.Fatalf("stats = %+v, want the hit counted as bytecode", s)
+	switch p.ArtifactKind() {
+	case "bytecode-warp":
+		if s.HitsBytecodeWarp != 1 {
+			t.Fatalf("stats = %+v, want the hit counted as bytecode-warp", s)
+		}
+		if reg.Counter("progcache_hits_bytecode_warp") != 1 {
+			t.Fatalf("progcache_hits_bytecode_warp = %v, want 1",
+				reg.Counter("progcache_hits_bytecode_warp"))
+		}
+	case "bytecode":
+		if s.HitsBytecode != 1 {
+			t.Fatalf("stats = %+v, want the hit counted as bytecode", s)
+		}
 	}
 
 	// Evicting an entry releases its artifact bytes.

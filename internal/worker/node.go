@@ -438,10 +438,14 @@ func (n *Node) Execute(ctx context.Context, job *Job) *Result {
 			if prog != nil {
 				// Which execution engine ran the kernels, and how large
 				// the lowered artifact was.
-				if prog.ArtifactKind() == "bytecode" {
+				switch prog.ArtifactKind() {
+				case "bytecode-warp":
+					attrs["engine"] = "warp"
+					attrs["instructions"] = strconv.Itoa(prog.InstructionCount())
+				case "bytecode":
 					attrs["engine"] = "vm"
 					attrs["instructions"] = strconv.Itoa(prog.InstructionCount())
-				} else {
+				default:
 					attrs["engine"] = "tree"
 				}
 			}

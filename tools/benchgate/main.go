@@ -6,6 +6,10 @@
 // runs it with continue-on-error so a trip annotates the run rather than
 // blocking the merge.
 //
+// A benchmark listed in the baseline but absent from the output is a
+// failure, not a skip: a renamed or deleted benchmark must force a
+// baseline update instead of quietly un-gating itself.
+//
 // Usage: benchgate <baseline.json> <bench-output.txt>
 package main
 
@@ -13,7 +17,9 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -39,17 +45,33 @@ func main() {
 		os.Exit(2)
 	}
 
-	results, err := parseBench(os.Args[2])
+	results, err := parseBenchFile(os.Args[2])
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(2)
 	}
 
-	failed := false
-	for name, ceiling := range base.Benchmarks {
+	if gate(base, results, os.Stdout) {
+		fmt.Println("benchgate: soft gate tripped — investigate before merging")
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: all benchmarks within ceilings")
+}
+
+// gate compares results against the baseline ceilings, writing one status
+// line per gated benchmark (in name order, so runs diff cleanly) and
+// reporting whether anything regressed or went missing.
+func gate(base baseline, results map[string]float64, w io.Writer) (failed bool) {
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ceiling := base.Benchmarks[name]
 		got, ok := results[name]
 		if !ok {
-			fmt.Printf("benchgate: MISSING  %-45s (no result; ceiling %.0f ns/op)\n", name, ceiling)
+			fmt.Fprintf(w, "benchgate: MISSING  %-45s (no result; ceiling %.0f ns/op)\n", name, ceiling)
 			failed = true
 			continue
 		}
@@ -58,26 +80,26 @@ func main() {
 			status = "REGRESSED"
 			failed = true
 		}
-		fmt.Printf("benchgate: %-9s %-45s %12.0f ns/op (ceiling %.0f)\n", status, name, got, ceiling)
+		fmt.Fprintf(w, "benchgate: %-9s %-45s %12.0f ns/op (ceiling %.0f)\n", status, name, got, ceiling)
 	}
-	if failed {
-		fmt.Println("benchgate: soft gate tripped — investigate before merging")
-		os.Exit(1)
-	}
-	fmt.Println("benchgate: all benchmarks within ceilings")
+	return failed
 }
 
-// parseBench extracts {name -> best ns/op} from go test -bench output. The
-// trailing -N GOMAXPROCS suffix is stripped; with -count > 1 the fastest
-// run wins, which rejects scheduling noise rather than averaging it in.
-func parseBench(path string) (map[string]float64, error) {
+func parseBenchFile(path string) (map[string]float64, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
+	return parseBench(f)
+}
+
+// parseBench extracts {name -> best ns/op} from go test -bench output. The
+// trailing -N GOMAXPROCS suffix is stripped; with -count > 1 the fastest
+// run wins, which rejects scheduling noise rather than averaging it in.
+func parseBench(r io.Reader) (map[string]float64, error) {
 	out := map[string]float64{}
-	sc := bufio.NewScanner(f)
+	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
 		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") || fields[3] != "ns/op" {

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: webgpu/internal/minicuda
+cpu: Intel(R) Xeon(R) Processor
+BenchmarkInterpretTiledMatMul32-8    	     300	   4000000 ns/op
+BenchmarkInterpretTiledMatMul32-8    	     320	   3800000 ns/op
+BenchmarkWarpVsVMMatMul/warp-8       	     300	   3700000 ns/op
+BenchmarkWarpVsVMMatMul/vm-8         	      80	  13000000 ns/op
+PASS
+`
+
+func TestParseBenchBestOfN(t *testing.T) {
+	results, err := parseBench(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// -count>1 keeps the fastest run; the -8 GOMAXPROCS suffix is stripped.
+	if got := results["BenchmarkInterpretTiledMatMul32"]; got != 3800000 {
+		t.Errorf("TiledMatMul32 = %v, want best-of-n 3800000", got)
+	}
+	if got := results["BenchmarkWarpVsVMMatMul/warp"]; got != 3700000 {
+		t.Errorf("warp sub-benchmark = %v, want 3700000", got)
+	}
+}
+
+func TestGateWithinCeilings(t *testing.T) {
+	base := baseline{Benchmarks: map[string]float64{
+		"BenchmarkInterpretTiledMatMul32": 8000000,
+		"BenchmarkWarpVsVMMatMul/warp":    8000000,
+	}}
+	results, _ := parseBench(strings.NewReader(benchOutput))
+	var sb strings.Builder
+	if gate(base, results, &sb) {
+		t.Fatalf("gate tripped within ceilings:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "ok") {
+		t.Errorf("output missing ok lines:\n%s", sb.String())
+	}
+}
+
+func TestGateRegression(t *testing.T) {
+	base := baseline{Benchmarks: map[string]float64{
+		"BenchmarkWarpVsVMMatMul/vm": 1000000, // far below the 13ms result
+	}}
+	results, _ := parseBench(strings.NewReader(benchOutput))
+	var sb strings.Builder
+	if !gate(base, results, &sb) {
+		t.Fatal("gate did not trip on a regression")
+	}
+	if !strings.Contains(sb.String(), "REGRESSED") {
+		t.Errorf("output missing REGRESSED:\n%s", sb.String())
+	}
+}
+
+func TestGateMissingBenchmarkFails(t *testing.T) {
+	// A baseline entry with no result (renamed or deleted benchmark) must
+	// fail the gate, not silently skip.
+	base := baseline{Benchmarks: map[string]float64{
+		"BenchmarkInterpretTiledMatMul32": 8000000,
+		"BenchmarkRenamedAway":            5000000,
+	}}
+	results, _ := parseBench(strings.NewReader(benchOutput))
+	var sb strings.Builder
+	if !gate(base, results, &sb) {
+		t.Fatal("gate did not trip on a missing benchmark")
+	}
+	if !strings.Contains(sb.String(), "MISSING") || !strings.Contains(sb.String(), "BenchmarkRenamedAway") {
+		t.Errorf("output missing MISSING line:\n%s", sb.String())
+	}
+}
