@@ -1,0 +1,386 @@
+package devsession
+
+import (
+	"context"
+	"strconv"
+	"sync"
+	"time"
+
+	"webgpu/internal/kernelcheck"
+	"webgpu/internal/minicuda"
+	"webgpu/internal/progcache"
+)
+
+// Event types, in the order a draft normally produces them.
+const (
+	EventStatus      = "status"      // lifecycle: open, cancelled, closed, evicted
+	EventCompile     = "compile"     // one draft's compile verdict
+	EventDiagnostics = "diagnostics" // one draft's kernelcheck findings
+)
+
+// Event is one typed message on a session's stream. Seq is the stream
+// position SSE clients echo back as Last-Event-ID to resume.
+type Event struct {
+	Seq  int64       `json:"seq"`
+	Type string      `json:"type"`
+	At   time.Time   `json:"at"`
+	Data interface{} `json:"data"`
+}
+
+// CompilePayload is the data of a "compile" event.
+type CompilePayload struct {
+	Draft     int64   `json:"draft"`
+	Cache     string  `json:"cache"` // hit | miss | coalesced
+	OK        bool    `json:"ok"`
+	Error     string  `json:"error,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// DiagnosticsPayload is the data of a "diagnostics" event. Diagnostics is
+// never null so clients can always range over it.
+type DiagnosticsPayload struct {
+	Draft       int64                    `json:"draft"`
+	Diagnostics []kernelcheck.Diagnostic `json:"diagnostics"`
+	ElapsedMS   float64                  `json:"elapsed_ms"`
+}
+
+// StatusPayload is the data of a "status" event.
+type StatusPayload struct {
+	State  string `json:"state"`
+	Draft  int64  `json:"draft,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// draft is one pushed source revision waiting for (or under) analysis.
+type draft struct {
+	seq      int64
+	source   string
+	queuedAt time.Time
+}
+
+// Session is one student's live editing loop on one lab.
+type Session struct {
+	ID      string
+	UserID  string
+	LabID   string
+	Dialect minicuda.Dialect
+
+	m      *Manager
+	ctx    context.Context // closed-session root; inflight ctxs derive from it
+	cancel context.CancelFunc
+	notify chan struct{} // draft-arrival signal, capacity 1
+
+	mu             sync.Mutex
+	closed         bool
+	seq            int64   // last event sequence number
+	draftSeq       int64   // last draft number
+	events         []Event // ring of the last EventBuffer events
+	subs           map[int]chan Event
+	nextSub        int
+	latest         *draft // pending draft, replaced latest-wins
+	inflightCancel context.CancelFunc
+	lastActive     time.Time
+	bucket         *bucket
+}
+
+func newSession(m *Manager, id, userID, labID string, dialect minicuda.Dialect, now time.Time) *Session {
+	s := &Session{
+		ID:         id,
+		UserID:     userID,
+		LabID:      labID,
+		Dialect:    dialect,
+		m:          m,
+		notify:     make(chan struct{}, 1),
+		subs:       map[int]chan Event{},
+		lastActive: now,
+		bucket:     newBucket(m.cfg.DraftBurst, m.cfg.DraftInterval, now),
+	}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+	return s
+}
+
+// PushDraft queues a source revision for analysis. Drafts are coalesced
+// latest-wins: a push while another draft waits replaces it (coalesced =
+// true), and a push while an analysis is in flight cancels that stale
+// analysis. Returns the draft sequence number.
+func (s *Session) PushDraft(source string) (seq int64, coalesced bool, err error) {
+	now := s.m.now()
+	if !s.m.allowUser(s.UserID, now) {
+		s.m.cfg.Metrics.Inc("devsession_rate_limited", 1)
+		return 0, false, ErrRateLimited
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, false, ErrClosed
+	}
+	if !s.bucket.allow(now) {
+		s.mu.Unlock()
+		s.m.cfg.Metrics.Inc("devsession_rate_limited", 1)
+		return 0, false, ErrRateLimited
+	}
+	s.lastActive = now
+	s.draftSeq++
+	d := &draft{seq: s.draftSeq, source: source, queuedAt: now}
+	coalesced = s.latest != nil
+	s.latest = d
+	stale := s.inflightCancel
+	s.mu.Unlock()
+
+	s.m.cfg.Metrics.Inc("devsession_drafts", 1)
+	if coalesced {
+		s.m.cfg.Metrics.Inc("devsession_draft_coalesced", 1)
+	}
+	if stale != nil {
+		// Latest-draft-wins: the analysis running right now is for source
+		// the student has already replaced.
+		stale()
+	}
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+	return d.seq, coalesced, nil
+}
+
+// Subscribe attaches an event listener. Events already buffered with
+// Seq > afterSeq are returned for replay (the Last-Event-ID contract);
+// later events arrive on the channel, which closes when the session does
+// or when the subscriber falls too far behind (reconnect to resume).
+// The returned cancel is idempotent; dropping the last subscriber cancels
+// any in-flight analysis and discards the pending draft.
+func (s *Session) Subscribe(afterSeq int64) (replay []Event, ch <-chan Event, cancel func(), err error) {
+	now := s.m.now()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, nil, nil, ErrClosed
+	}
+	s.lastActive = now
+	id := s.nextSub
+	s.nextSub++
+	c := make(chan Event, s.m.cfg.EventBuffer)
+	s.subs[id] = c
+	for _, ev := range s.events {
+		if ev.Seq > afterSeq {
+			replay = append(replay, ev)
+		}
+	}
+	s.mu.Unlock()
+
+	cancel = func() {
+		s.mu.Lock()
+		cur, ok := s.subs[id]
+		if ok {
+			delete(s.subs, id)
+		}
+		s.lastActive = s.m.now()
+		var stale context.CancelFunc
+		if len(s.subs) == 0 && !s.closed {
+			// Nobody is listening: stop the in-flight analysis and drop
+			// the pending draft rather than burn compute for an empty room.
+			stale = s.inflightCancel
+			s.latest = nil
+		}
+		s.mu.Unlock()
+		if ok {
+			close(cur)
+		}
+		if stale != nil {
+			stale()
+		}
+	}
+	return replay, c, cancel, nil
+}
+
+// History returns the buffered events with Seq > afterSeq (newest last).
+func (s *Session) History(afterSeq int64) []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Event
+	for _, ev := range s.events {
+		if ev.Seq > afterSeq {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Subscribers reports the number of attached listeners.
+func (s *Session) Subscribers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.subs)
+}
+
+// idleSince reports how long the session has been idle; a session with a
+// live subscriber is never idle.
+func (s *Session) idleSince(now time.Time) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.subs) > 0 {
+		return 0
+	}
+	return now.Sub(s.lastActive)
+}
+
+// emit appends an event to the ring and fans it out. A subscriber whose
+// channel is full is kicked (channel closed) — the SSE layer reconnects
+// with Last-Event-ID and replays from the ring instead of blocking the
+// analysis loop on a slow reader.
+func (s *Session) emit(typ string, data interface{}) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.seq++
+	ev := Event{Seq: s.seq, Type: typ, At: s.m.now(), Data: data}
+	s.events = append(s.events, ev)
+	if n := len(s.events) - s.m.cfg.EventBuffer; n > 0 {
+		s.events = append(s.events[:0], s.events[n:]...)
+	}
+	var kicked []chan Event
+	for id, c := range s.subs {
+		select {
+		case c <- ev:
+		default:
+			delete(s.subs, id)
+			kicked = append(kicked, c)
+		}
+	}
+	s.mu.Unlock()
+	for _, c := range kicked {
+		close(c)
+	}
+}
+
+// close tears the session down: cancels the loop and any in-flight
+// analysis, and closes every subscriber channel. Idempotent.
+func (s *Session) close(reason string) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	// Record the terminal event in the ring before flipping closed, so a
+	// client that reconnects (to a dead session) at least sees why.
+	s.seq++
+	ev := Event{Seq: s.seq, Type: EventStatus, At: s.m.now(), Data: StatusPayload{State: reason}}
+	s.events = append(s.events, ev)
+	for id, c := range s.subs {
+		select {
+		case c <- ev:
+		default:
+		}
+		delete(s.subs, id)
+		defer close(c)
+	}
+	s.closed = true
+	s.latest = nil
+	s.mu.Unlock()
+	s.cancel()
+}
+
+// loop is the per-session analysis worker: one draft signal → one
+// debounce window → one latest-wins pickup. A draft pushed while an
+// analysis runs re-arms notify (capacity 1), so the loop comes straight
+// back around; every pickup passes through the debounce window, which is
+// what turns a keystroke burst into a single analysis.
+func (s *Session) loop() {
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-s.notify:
+		}
+		if d := s.m.cfg.Debounce; d > 0 {
+			// Let the rest of a keystroke burst land; everything that
+			// arrives in the window coalesces into one pickup.
+			select {
+			case <-s.ctx.Done():
+				return
+			case <-time.After(d):
+			}
+		}
+		s.mu.Lock()
+		d := s.latest
+		s.latest = nil
+		if d == nil {
+			s.mu.Unlock()
+			continue
+		}
+		ctx, cancel := context.WithCancel(s.ctx)
+		s.inflightCancel = cancel
+		s.mu.Unlock()
+
+		s.runDraft(ctx, d)
+
+		s.mu.Lock()
+		s.inflightCancel = nil
+		s.mu.Unlock()
+		cancel()
+	}
+}
+
+// pipelineOut is what one draft's compile+analysis produces.
+type pipelineOut struct {
+	status progcache.Status
+	err    error
+	diags  []kernelcheck.Diagnostic
+}
+
+// runDraft runs one draft through the program cache: compile (content
+// addressed, singleflighted) then kernelcheck (cached per entry). The
+// cache calls are not context-aware, so they run in a goroutine and the
+// draft abandons the wait on cancellation — the compile keeps going and
+// still warms the cache for the next draft or an eventual submission.
+func (s *Session) runDraft(ctx context.Context, d *draft) {
+	start := time.Now()
+	tr := s.m.cfg.Traces.NewTrace()
+	sp := tr.StartSpan("draft",
+		"session", s.ID, "lab", s.LabID, "draft", strconv.FormatInt(d.seq, 10))
+	done := make(chan pipelineOut, 1)
+	go func() {
+		var out pipelineOut
+		_, out.status, out.err = s.m.cfg.Cache.CompileStatus(d.source, s.Dialect)
+		if out.err == nil {
+			out.diags, _ = s.m.cfg.Cache.Diagnostics(d.source, s.Dialect)
+		}
+		done <- out
+	}()
+
+	select {
+	case <-ctx.Done():
+		s.m.cfg.Metrics.Inc("devsession_draft_cancelled", 1)
+		sp.EndAttrs("cancelled", "true")
+		tr.Finish()
+		s.emit(EventStatus, StatusPayload{State: "cancelled", Draft: d.seq})
+		return
+	case out := <-done:
+		elapsed := time.Since(start)
+		ms := float64(elapsed) / float64(time.Millisecond)
+		compile := CompilePayload{Draft: d.seq, Cache: out.status.String(), OK: out.err == nil, ElapsedMS: ms}
+		if out.err != nil {
+			compile.Error = out.err.Error()
+		}
+		s.emit(EventCompile, compile)
+		if out.err == nil {
+			diags := out.diags
+			if diags == nil {
+				diags = []kernelcheck.Diagnostic{}
+			}
+			s.emit(EventDiagnostics, DiagnosticsPayload{
+				Draft:       d.seq,
+				Diagnostics: diags,
+				ElapsedMS:   float64(time.Since(start)) / float64(time.Millisecond),
+			})
+		}
+		s.m.cfg.Metrics.ObserveDuration("devsession_draft_ms", elapsed)
+		if out.status == progcache.Hit {
+			s.m.cfg.Metrics.ObserveDuration("devsession_draft_warm_ms", elapsed)
+		}
+		sp.EndAttrs("cache", out.status.String(), "diags", strconv.Itoa(len(out.diags)))
+		tr.Finish()
+	}
+}

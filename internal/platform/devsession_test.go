@@ -1,0 +1,64 @@
+package platform
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"webgpu/internal/labs"
+)
+
+// TestDevSessionSharesWorkerProgCache: a draft pushed through the live
+// development loop compiles into the same content-addressed cache the
+// worker tier uses, so the eventual submission of that source is a warm
+// hit — the wiring the platform is responsible for.
+func TestDevSessionSharesWorkerProgCache(t *testing.T) {
+	p := New(Options{Arch: V1, Workers: 1})
+	defer p.Close()
+	ts := httptest.NewServer(p.Handler())
+	defer ts.Close()
+
+	c := newClient(t, ts.URL)
+	c.register("Ada", "ada@example.edu", "student")
+	src := labs.ByID("vector-add").Reference
+
+	var sess struct {
+		SessionID string `json:"session_id"`
+		DraftURL  string `json:"draft_url"`
+	}
+	c.mustDo("POST", "/api/v1/labs/vector-add/session", nil, &sess)
+	c.mustDo("POST", sess.DraftURL, map[string]string{"source": src}, nil)
+
+	// The draft analysis runs asynchronously; wait for the compile to
+	// land in the shared cache.
+	deadline := time.Now().Add(10 * time.Second)
+	for p.ProgCache().Stats().Compiles == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("draft never compiled into the platform cache")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if p.Server.DevSessions().Active() != 1 {
+		t.Fatalf("Active sessions = %d, want 1", p.Server.DevSessions().Active())
+	}
+
+	// The worker-tier submission of the same source must be a cache hit,
+	// not a recompile.
+	before := p.ProgCache().Stats()
+	c.mustDo("POST", "/api/v1/labs/vector-add/save", map[string]string{"source": src}, nil)
+	c.mustDo("POST", "/api/v1/labs/vector-add/submit", nil, nil)
+	after := p.ProgCache().Stats()
+	if after.Compiles != before.Compiles {
+		t.Fatalf("submit recompiled (compiles %d -> %d); dev session cache not shared",
+			before.Compiles, after.Compiles)
+	}
+	if after.Hits <= before.Hits {
+		t.Fatalf("submit did not hit the cache (hits %d -> %d)", before.Hits, after.Hits)
+	}
+
+	// Platform shutdown closes the session registry.
+	p.Close()
+	if n := p.Server.DevSessions().Active(); n != 0 {
+		t.Fatalf("Active sessions after Close = %d, want 0", n)
+	}
+}

@@ -195,6 +195,9 @@ func New(opts Options) *Platform {
 		Course:     opts.Course,
 		Metrics:    p.metrics,
 		Traces:     p.traces,
+		// Live dev sessions compile through the same cache the workers use,
+		// so a draft the student later submits is already warm.
+		ProgCache: p.progs,
 	}
 	if p.Broker != nil {
 		scfg.Queue = p.Broker
@@ -275,6 +278,9 @@ func (p *Platform) Close() {
 	}
 	p.closed = true
 	p.mu.Unlock()
+	if p.Server != nil {
+		p.Server.DevSessions().CloseAll()
+	}
 	if p.stopHeartbeat != nil {
 		p.stopHeartbeat()
 	}

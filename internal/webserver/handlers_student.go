@@ -585,7 +585,7 @@ func (s *Server) handleShare(w http.ResponseWriter, r *http.Request, u *User) {
 	}
 	dl, ok := s.deadlines[att.LabID]
 	if ok && s.clock().Before(dl) {
-		writeErr(w, http.StatusForbidden,
+		writeErr(w, http.StatusForbidden, ErrCodeForbidden,
 			"attempts can be shared only after the lab deadline (%s)", dl.Format(time.RFC3339))
 		return
 	}

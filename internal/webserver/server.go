@@ -22,11 +22,13 @@ import (
 	"time"
 
 	"webgpu/internal/db"
+	"webgpu/internal/devsession"
 	"webgpu/internal/grader"
 	"webgpu/internal/kernelcheck"
 	"webgpu/internal/labs"
 	"webgpu/internal/metrics"
 	"webgpu/internal/peerreview"
+	"webgpu/internal/progcache"
 	"webgpu/internal/queue"
 	"webgpu/internal/sandbox"
 	"webgpu/internal/trace"
@@ -76,23 +78,40 @@ type Config struct {
 
 	// Queue backs the dead-letter admin endpoints (v2 only; nil = 501).
 	Queue QueueAdmin
+
+	// ProgCache backs the live development loop's incremental compiles.
+	// Deployments pass the cache their workers share, so a draft the
+	// student later submits is already compiled and analyzed; nil creates
+	// a private cache.
+	ProgCache *progcache.Cache
+
+	// DevSessions overrides the live-session manager (tests tune its
+	// debounce/limits); nil builds one from ProgCache/Metrics/Traces/Clock.
+	DevSessions *devsession.Manager
+
+	// SSEHeartbeat is the interval between keepalive comments on event
+	// streams (0 = 15s).
+	SSEHeartbeat time.Duration
 }
 
 // Server is the WebGPU web tier.
 type Server struct {
-	db        *db.DB
-	dispatch  Dispatcher
-	gradebook grader.Gradebook
-	reviews   *peerreview.Store
-	course    labs.Course
-	limiter   *sandbox.RateLimiter
-	clock     func() time.Time
-	mux       *http.ServeMux
-	nextID    atomic.Int64
-	deadlines map[string]time.Time
-	metrics   *metrics.Registry
-	traces    *trace.Store
-	queue     QueueAdmin
+	db           *db.DB
+	dispatch     Dispatcher
+	gradebook    grader.Gradebook
+	reviews      *peerreview.Store
+	course       labs.Course
+	limiter      *sandbox.RateLimiter
+	clock        func() time.Time
+	mux          *http.ServeMux
+	nextID       atomic.Int64
+	deadlines    map[string]time.Time
+	metrics      *metrics.Registry
+	traces       *trace.Store
+	queue        QueueAdmin
+	progs        *progcache.Cache
+	devsessions  *devsession.Manager
+	sseHeartbeat time.Duration
 
 	// policies maps lab ID → analysis policy (worker.Analysis*). Unlike
 	// deadlines (set once at course setup), instructors flip these at
@@ -121,19 +140,36 @@ func New(cfg Config) *Server {
 	if cfg.Traces == nil {
 		cfg.Traces = trace.NewStore(0)
 	}
+	if cfg.ProgCache == nil {
+		cfg.ProgCache = progcache.New(progcache.DefaultCapacity, nil)
+	}
+	if cfg.DevSessions == nil {
+		cfg.DevSessions = devsession.NewManager(devsession.Config{
+			Cache:   cfg.ProgCache,
+			Metrics: cfg.Metrics,
+			Traces:  cfg.Traces,
+			Clock:   cfg.Clock,
+		})
+	}
+	if cfg.SSEHeartbeat <= 0 {
+		cfg.SSEHeartbeat = 15 * time.Second
+	}
 	s := &Server{
-		db:        cfg.DB,
-		dispatch:  cfg.Dispatcher,
-		gradebook: cfg.Gradebook,
-		reviews:   cfg.Reviews,
-		course:    cfg.Course,
-		limiter:   sandbox.NewRateLimiter(cfg.Limits.SubmitInterval),
-		clock:     cfg.Clock,
-		deadlines: map[string]time.Time{},
-		policies:  map[string]string{},
-		metrics:   cfg.Metrics,
-		traces:    cfg.Traces,
-		queue:     cfg.Queue,
+		db:           cfg.DB,
+		dispatch:     cfg.Dispatcher,
+		gradebook:    cfg.Gradebook,
+		reviews:      cfg.Reviews,
+		course:       cfg.Course,
+		limiter:      sandbox.NewRateLimiter(cfg.Limits.SubmitInterval),
+		clock:        cfg.Clock,
+		deadlines:    map[string]time.Time{},
+		policies:     map[string]string{},
+		metrics:      cfg.Metrics,
+		traces:       cfg.Traces,
+		queue:        cfg.Queue,
+		progs:        cfg.ProgCache,
+		devsessions:  cfg.DevSessions,
+		sseHeartbeat: cfg.SSEHeartbeat,
 	}
 	s.limiter.SetClock(cfg.Clock)
 	s.db.CreateIndex("users", "email")
@@ -185,44 +221,156 @@ func (s *Server) SetClock(clock func() time.Time) {
 // Handler returns the root HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// DevSessions exposes the live-session manager (deployments close it on
+// shutdown; tests inspect it).
+func (s *Server) DevSessions() *devsession.Manager { return s.devsessions }
+
+// APIVersionHeader names the response header stamping which API surface
+// served the request ("v1", or "legacy" on the deprecated unversioned
+// aliases).
+const APIVersionHeader = "X-WebGPU-API-Version"
+
+// apiRoute is one entry of the API route table. Pattern is the path under
+// the API prefix — the same handler is mounted at /api/v1/<pattern> and,
+// unless V1Only, at the deprecated legacy alias /api/<pattern>.
+type apiRoute struct {
+	Method  string
+	Pattern string
+	V1Only  bool // v1-native endpoints (streaming sessions) have no legacy alias
+	handler http.HandlerFunc
+}
+
+// apiRoutes is the single route table both API surfaces are generated
+// from. Adding a route here mounts it under /api/v1 and (unless V1Only)
+// under the legacy /api alias, and enrolls it in the route-conformance
+// tests.
+func (s *Server) apiRoutes() []apiRoute {
+	return []apiRoute{
+		{Method: "POST", Pattern: "register", handler: s.handleRegister},
+		{Method: "POST", Pattern: "login", handler: s.handleLogin},
+		{Method: "GET", Pattern: "labs", handler: s.auth(s.handleListLabs)},
+		{Method: "GET", Pattern: "labs/{lab}", handler: s.auth(s.handleGetLab)},
+		{Method: "POST", Pattern: "labs/{lab}/save", handler: s.auth(s.handleSave)},
+		{Method: "GET", Pattern: "labs/{lab}/code", handler: s.auth(s.handleGetCode)},
+		{Method: "GET", Pattern: "labs/{lab}/history", handler: s.auth(s.handleHistory)},
+		{Method: "POST", Pattern: "labs/{lab}/compile", handler: s.auth(s.handleCompile)},
+		{Method: "POST", Pattern: "labs/{lab}/attempt", handler: s.auth(s.handleAttempt)},
+		{Method: "GET", Pattern: "labs/{lab}/attempts", handler: s.auth(s.handleAttempts)},
+		{Method: "POST", Pattern: "labs/{lab}/questions", handler: s.auth(s.handleAnswerQuestions)},
+		{Method: "POST", Pattern: "labs/{lab}/submit", handler: s.auth(s.handleSubmit)},
+		{Method: "GET", Pattern: "labs/{lab}/grade", handler: s.auth(s.handleGetGrade)},
+		{Method: "GET", Pattern: "labs/{lab}/hints", handler: s.auth(s.handleHints)},
+		{Method: "POST", Pattern: "attempts/{attempt}/share", handler: s.auth(s.handleShare)},
+		{Method: "GET", Pattern: "share/{token}", handler: s.handleViewShare},
+		{Method: "GET", Pattern: "reviews", handler: s.auth(s.handleMyReviews)},
+		{Method: "POST", Pattern: "reviews/complete", handler: s.auth(s.handleCompleteReview)},
+		{Method: "GET", Pattern: "instructor/roster/{lab}", handler: s.instructor(s.handleRoster)},
+		{Method: "GET", Pattern: "instructor/student/{user}/{lab}", handler: s.instructor(s.handleStudentDetail)},
+		{Method: "POST", Pattern: "instructor/override", handler: s.instructor(s.handleOverride)},
+		{Method: "POST", Pattern: "instructor/comment", handler: s.instructor(s.handleComment)},
+		{Method: "POST", Pattern: "instructor/reviews/assign/{lab}", handler: s.instructor(s.handleAssignReviews)},
+		{Method: "POST", Pattern: "instructor/labs/{lab}/analysis", handler: s.instructor(s.handleSetAnalysisPolicy)},
+		{Method: "GET", Pattern: "instructor/labs/{lab}/analysis", handler: s.instructor(s.handleGetAnalysisPolicy)},
+		{Method: "GET", Pattern: "instructor/export", handler: s.instructor(s.handleExport)},
+		{Method: "GET", Pattern: "admin/metrics", handler: s.instructor(s.handleAdminMetrics)},
+		{Method: "GET", Pattern: "admin/traces", handler: s.instructor(s.handleAdminTraces)},
+		{Method: "GET", Pattern: "admin/traces/{id}", handler: s.instructor(s.handleAdminTrace)},
+		{Method: "GET", Pattern: "admin/deadletters", handler: s.instructor(s.handleAdminDeadLetters)},
+		{Method: "POST", Pattern: "admin/deadletters/redrive", handler: s.instructor(s.handleAdminRedrive)},
+
+		// Live development loop (v1-native: streaming has no legacy alias).
+		{Method: "POST", Pattern: "labs/{lab}/session", V1Only: true, handler: s.auth(s.handleOpenSession)},
+		{Method: "GET", Pattern: "sessions/{id}/events", V1Only: true, handler: s.auth(s.handleSessionEvents)},
+		{Method: "POST", Pattern: "sessions/{id}/draft", V1Only: true, handler: s.auth(s.handleSessionDraft)},
+		{Method: "DELETE", Pattern: "sessions/{id}", V1Only: true, handler: s.auth(s.handleCloseSession)},
+	}
+}
+
+// versioned stamps the API-version header; deprecated aliases additionally
+// advertise their successor per RFC 8594/draft-ietf-httpapi-deprecation.
+func versioned(version string, deprecated bool, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		hd := w.Header()
+		hd.Set(APIVersionHeader, version)
+		if deprecated {
+			hd.Set("Deprecation", "true")
+			hd.Set("Link", `</api/v1>; rel="successor-version"`)
+		}
+		h(w, r)
+	}
+}
+
 func (s *Server) routes() {
 	s.mux = http.NewServeMux()
-	m := s.mux
-	m.HandleFunc("POST /api/register", s.handleRegister)
-	m.HandleFunc("POST /api/login", s.handleLogin)
-	m.HandleFunc("GET /api/labs", s.auth(s.handleListLabs))
-	m.HandleFunc("GET /api/labs/{lab}", s.auth(s.handleGetLab))
-	m.HandleFunc("POST /api/labs/{lab}/save", s.auth(s.handleSave))
-	m.HandleFunc("GET /api/labs/{lab}/code", s.auth(s.handleGetCode))
-	m.HandleFunc("GET /api/labs/{lab}/history", s.auth(s.handleHistory))
-	m.HandleFunc("POST /api/labs/{lab}/compile", s.auth(s.handleCompile))
-	m.HandleFunc("POST /api/labs/{lab}/attempt", s.auth(s.handleAttempt))
-	m.HandleFunc("GET /api/labs/{lab}/attempts", s.auth(s.handleAttempts))
-	m.HandleFunc("POST /api/labs/{lab}/questions", s.auth(s.handleAnswerQuestions))
-	m.HandleFunc("POST /api/labs/{lab}/submit", s.auth(s.handleSubmit))
-	m.HandleFunc("GET /api/labs/{lab}/grade", s.auth(s.handleGetGrade))
-	m.HandleFunc("GET /api/labs/{lab}/hints", s.auth(s.handleHints))
-	m.HandleFunc("POST /api/attempts/{attempt}/share", s.auth(s.handleShare))
-	m.HandleFunc("GET /api/share/{token}", s.handleViewShare)
-	m.HandleFunc("GET /api/reviews", s.auth(s.handleMyReviews))
-	m.HandleFunc("POST /api/reviews/complete", s.auth(s.handleCompleteReview))
-	m.HandleFunc("GET /api/instructor/roster/{lab}", s.instructor(s.handleRoster))
-	m.HandleFunc("GET /api/instructor/student/{user}/{lab}", s.instructor(s.handleStudentDetail))
-	m.HandleFunc("POST /api/instructor/override", s.instructor(s.handleOverride))
-	m.HandleFunc("POST /api/instructor/comment", s.instructor(s.handleComment))
-	m.HandleFunc("POST /api/instructor/reviews/assign/{lab}", s.instructor(s.handleAssignReviews))
-	m.HandleFunc("POST /api/instructor/labs/{lab}/analysis", s.instructor(s.handleSetAnalysisPolicy))
-	m.HandleFunc("GET /api/instructor/labs/{lab}/analysis", s.instructor(s.handleGetAnalysisPolicy))
-	m.HandleFunc("GET /api/instructor/export", s.instructor(s.handleExport))
-	m.HandleFunc("GET /api/admin/metrics", s.instructor(s.handleAdminMetrics))
-	m.HandleFunc("GET /api/admin/traces", s.instructor(s.handleAdminTraces))
-	m.HandleFunc("GET /api/admin/traces/{id}", s.instructor(s.handleAdminTrace))
-	m.HandleFunc("GET /api/admin/deadletters", s.instructor(s.handleAdminDeadLetters))
-	m.HandleFunc("POST /api/admin/deadletters/redrive", s.instructor(s.handleAdminRedrive))
-	m.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	for _, rt := range s.apiRoutes() {
+		s.mux.HandleFunc(rt.Method+" /api/v1/"+rt.Pattern, versioned("v1", false, rt.handler))
+		if !rt.V1Only {
+			s.mux.HandleFunc(rt.Method+" /api/"+rt.Pattern, versioned("legacy", true, rt.handler))
+		}
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /labs/{lab}/view", s.auth(s.handleLabPage))
+}
+
+// ComponentHealth is one subsystem's line in the /healthz report.
+type ComponentHealth struct {
+	Status string `json:"status"` // ok | degraded | absent
+	Detail string `json:"detail,omitempty"`
+}
+
+// handleHealthz reports per-component health as JSON: the database, the
+// dispatcher, the broker (absent on v1 push deployments), the program
+// cache, and the live-session registry. Any degraded component turns the
+// top-level status degraded and the HTTP status 503, so load balancers
+// and probes need only the status code.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	comps := map[string]ComponentHealth{}
+	degraded := false
+	mark := func(name string, c ComponentHealth) {
+		if c.Status == "degraded" {
+			degraded = true
+		}
+		comps[name] = c
+	}
+
+	if s.db == nil {
+		mark("db", ComponentHealth{Status: "degraded", Detail: "not configured"})
+	} else if err := s.db.View(func(tx *db.Tx) error { return nil }); err != nil {
+		mark("db", ComponentHealth{Status: "degraded", Detail: err.Error()})
+	} else {
+		mark("db", ComponentHealth{Status: "ok"})
+	}
+
+	if s.dispatch == nil {
+		mark("dispatcher", ComponentHealth{Status: "degraded", Detail: "no worker dispatcher"})
+	} else {
+		mark("dispatcher", ComponentHealth{Status: "ok"})
+	}
+
+	if s.queue == nil {
+		mark("broker", ComponentHealth{Status: "absent", Detail: "v1 push dispatch has no broker"})
+	} else {
+		mark("broker", ComponentHealth{Status: "ok",
+			Detail: fmt.Sprintf("%d dead letters", len(s.queue.DeadLetters()))})
+	}
+
+	st := s.progs.Stats()
+	mark("progcache", ComponentHealth{Status: "ok",
+		Detail: fmt.Sprintf("%d entries, %d hits, %d misses", st.Size, st.Hits, st.Misses)})
+
+	mark("devsessions", ComponentHealth{Status: "ok",
+		Detail: fmt.Sprintf("%d active", s.devsessions.Active())})
+
+	status := "ok"
+	code := http.StatusOK
+	if degraded {
+		status = "degraded"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]interface{}{
+		"status":     status,
+		"components": comps,
 	})
-	m.HandleFunc("GET /labs/{lab}/view", s.auth(s.handleLabPage))
 }
 
 // ---- Records ------------------------------------------------------------------
