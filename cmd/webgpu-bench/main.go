@@ -1,26 +1,35 @@
 // Command webgpu-bench regenerates every table and figure of the WebGPU
-// paper plus the derived ablations. See DESIGN.md for the experiment
-// index and EXPERIMENTS.md for the paper-vs-measured record.
+// paper plus the derived ablations, and runs the whole-pipeline macro
+// benchmark suite. See DESIGN.md for the experiment index and
+// EXPERIMENTS.md for the paper-vs-measured record.
 //
 // Usage:
 //
 //	webgpu-bench -list
 //	webgpu-bench -exp table1
 //	webgpu-bench -exp all
+//	webgpu-bench -macro all -out BENCH_macro.json -benchfmt macro.txt
+//	webgpu-bench -macro chaos-spike -seed 42
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"webgpu/internal/experiments"
+	"webgpu/internal/macrobench"
 )
 
 func main() {
-	list := flag.Bool("list", false, "list available experiments")
-	exp := flag.String("exp", "all", "experiment id to run, or 'all'")
+	list := flag.Bool("list", false, "list available experiments and macro scenarios")
+	exp := flag.String("exp", "", "experiment id to run, or 'all'")
+	macro := flag.String("macro", "", "macro scenario to run, or 'all'")
+	seed := flag.Int64("seed", 0, "macro: override every scenario's seed (0 = scenario defaults)")
+	out := flag.String("out", "", "macro: write the BENCH_macro.json trajectory here")
+	benchfmt := flag.String("benchfmt", "", "macro: also write Go benchmark format (for benchstat) here")
 	flag.Parse()
 
 	if *list {
@@ -28,26 +37,91 @@ func main() {
 		for _, e := range experiments.All() {
 			fmt.Printf("  %-14s %s\n", e.ID, e.Name)
 		}
+		fmt.Println("macro scenarios (-macro):")
+		for _, s := range macrobench.Scenarios(0) {
+			fmt.Printf("  %-14s %d submitters (%.0f× capacity), %d readers, %d drafters, chaos=%v\n",
+				s.Name, s.Submissions, s.Multiplier, s.Readers, s.Drafters, s.Chaos)
+		}
 		return
 	}
 
+	if *macro != "" {
+		runMacro(*macro, *seed, *out, *benchfmt)
+		return
+	}
+
+	id := *exp
+	if id == "" {
+		id = "all"
+	}
 	run := func(e experiments.Experiment) {
 		start := time.Now()
 		out := e.Run()
 		fmt.Println(out)
 		fmt.Printf("[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
-
-	if *exp == "all" {
+	if id == "all" {
 		for _, e := range experiments.All() {
 			run(e)
 		}
 		return
 	}
-	e := experiments.ByID(*exp)
+	e := experiments.ByID(id)
 	if e == nil {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", id)
 		os.Exit(1)
 	}
 	run(*e)
+}
+
+// runMacro executes the selected macro scenarios and writes the JSON
+// trajectory (and optional benchfmt lines). A failed scenario prints its
+// replayable error and exits nonzero; the trajectory written so far is
+// still flushed, so CI archives the partial evidence.
+func runMacro(name string, seed int64, outPath, benchPath string) {
+	var scenarios []macrobench.Scenario
+	if name == "all" {
+		scenarios = macrobench.Scenarios(seed)
+	} else {
+		s, ok := macrobench.ByName(name, seed)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown macro scenario %q; use -list\n", name)
+			os.Exit(1)
+		}
+		scenarios = []macrobench.Scenario{s}
+	}
+
+	file := macrobench.File{Schema: macrobench.Schema, Note: macrobench.Note()}
+	failed := false
+	for _, s := range scenarios {
+		start := time.Now()
+		res, err := macrobench.Run(s)
+		if err != nil {
+			failed = true
+			fmt.Fprintf(os.Stderr, "FAIL %v\n", err)
+		}
+		file.Scenarios = append(file.Scenarios, res)
+		fmt.Printf("%s\n[%s completed in %v]\n\n",
+			res, s.Name, time.Since(start).Round(time.Millisecond))
+	}
+
+	flush := func(path string, data []byte) {
+		if path == "" {
+			return
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", path, err)
+			failed = true
+		}
+	}
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "marshal trajectory: %v\n", err)
+		os.Exit(1)
+	}
+	flush(outPath, append(data, '\n'))
+	flush(benchPath, []byte(macrobench.Benchfmt(file)))
+	if failed {
+		os.Exit(1)
+	}
 }

@@ -49,6 +49,10 @@ var (
 	ErrUserSessionLimit = errors.New("devsession: per-user session limit reached")
 	// ErrRateLimited means a draft push exceeded the user or session budget.
 	ErrRateLimited = errors.New("devsession: draft rate limit exceeded")
+	// ErrShed means the platform is under overload and draft analyses are
+	// being shed to protect submission capacity (ROADMAP item 5: drafts
+	// shed before the worker pool sheds submissions).
+	ErrShed = errors.New("devsession: draft analysis shed under overload")
 	// ErrClosed means the session was closed or evicted.
 	ErrClosed = errors.New("devsession: session closed")
 )
@@ -64,6 +68,10 @@ const (
 	DefaultEventBuffer   = 256
 	DefaultDraftBurst    = 30
 	DefaultDraftInterval = 50 * time.Millisecond // sustained 20 drafts/s
+
+	// DefaultShedAt matches the overload controller's draft threshold:
+	// drafts shed at 75% pressure, while submissions keep admitting.
+	DefaultShedAt = 0.75
 )
 
 // Config wires a Manager's dependencies and tuning knobs.
@@ -98,6 +106,16 @@ type Config struct {
 	// limiting.
 	DraftBurst    int
 	DraftInterval time.Duration
+
+	// Pressure reports system pressure in [0, ∞) (the overload
+	// controller's figure: broker backlog, submission queue fill). When
+	// set, draft pushes at or above ShedAt are shed with ErrShed before
+	// any bucket is charged — the live loop yields compute to graded
+	// submissions under overload. Nil disables pressure shedding.
+	Pressure func() float64
+	// ShedAt is the pressure threshold for draft shedding; zero with a
+	// non-nil Pressure selects DefaultShedAt.
+	ShedAt float64
 }
 
 func (c Config) withDefaults() Config {
@@ -134,6 +152,9 @@ func (c Config) withDefaults() Config {
 	if c.DraftInterval == 0 {
 		c.DraftInterval = DefaultDraftInterval
 	}
+	if c.Pressure != nil && c.ShedAt <= 0 {
+		c.ShedAt = DefaultShedAt
+	}
 	return c
 }
 
@@ -162,6 +183,7 @@ func NewManager(cfg Config) *Manager {
 		"devsession_opened", "devsession_closed", "devsession_evicted",
 		"devsession_drafts", "devsession_draft_coalesced",
 		"devsession_draft_cancelled", "devsession_rate_limited",
+		"devsession_draft_shed",
 	} {
 		m.cfg.Metrics.Inc(name, 0)
 	}
@@ -290,6 +312,13 @@ func (m *Manager) allowUser(userID string, now time.Time) bool {
 		m.buckets[userID] = b
 	}
 	return b.allow(now)
+}
+
+// shedDraft reports whether draft analyses are currently shed: system
+// pressure at or above the threshold. Checked before any bucket is
+// charged, so a shed push costs the student no draft budget.
+func (m *Manager) shedDraft() bool {
+	return m.cfg.Pressure != nil && m.cfg.Pressure() >= m.cfg.ShedAt
 }
 
 func (m *Manager) now() time.Time { return m.cfg.Clock() }

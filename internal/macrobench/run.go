@@ -1,0 +1,383 @@
+package macrobench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"webgpu/internal/faultinject"
+	"webgpu/internal/labs"
+	"webgpu/internal/worker"
+)
+
+// benchLab is the lab every macro job runs — same as the chaos soak, its
+// reference solution compiles and grades quickly.
+const benchLab = "vector-add"
+
+// client is one authenticated student driving the platform over HTTP.
+type client struct {
+	base  string
+	token string
+	http  *http.Client
+}
+
+// apiError is the unified error envelope every non-2xx response carries.
+type apiError struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// do issues one JSON request and decodes the envelope on failure.
+func (c *client) do(method, path string, body interface{}) (int, string, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return 0, "", nil, err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, "", nil, err
+	}
+	code := ""
+	if resp.StatusCode >= 400 {
+		var ae apiError
+		if json.Unmarshal(data, &ae) == nil {
+			code = ae.Error.Code
+		}
+	}
+	return resp.StatusCode, code, data, nil
+}
+
+// register creates an account and returns an authenticated client.
+func register(base string, hc *http.Client, name string) (*client, error) {
+	c := &client{base: base, http: hc}
+	status, code, data, err := c.do("POST", "/api/v1/register", map[string]string{
+		"name":  name,
+		"email": name + "@macrobench.invalid",
+	})
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusCreated {
+		return nil, fmt.Errorf("register %s: status %d code %q", name, status, code)
+	}
+	var out struct {
+		Token string `json:"token"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, err
+	}
+	c.token = out.Token
+	return c, nil
+}
+
+// Run executes one scenario against a freshly booted platform and
+// reports the measured Result. Chaos scenarios finish with the
+// chaostest-style drain: faults off, dead letters redriven, queues
+// empty, then the broker conservation check. The returned error carries
+// the seed for replay.
+func Run(s Scenario) (Result, error) {
+	s = s.withDefaults()
+	res := Result{
+		Name:        s.Name,
+		Seed:        s.Seed,
+		Arch:        s.Arch.String(),
+		Capacity:    s.Capacity(),
+		Submissions: s.Submissions,
+		Chaos:       s.Chaos,
+		FaultRate:   s.FaultRate,
+	}
+	fail := func(reg *faultinject.Registry, format string, args ...interface{}) (Result, error) {
+		detail := ""
+		if reg != nil {
+			detail = "; " + reg.String()
+		}
+		return res, fmt.Errorf("%s: %s (replay with seed=%d%s)",
+			s.Name, fmt.Sprintf(format, args...), s.Seed, detail)
+	}
+
+	reg := faultinject.New(s.Seed)
+	p := newPlatform(s, reg)
+	defer p.Close()
+	ts := httptest.NewServer(p.Handler())
+	defer ts.Close()
+	hc := ts.Client()
+	hc.Timeout = s.Timeout
+
+	deadline := time.Now().Add(s.Timeout)
+	ref := labs.ByID(benchLab).Reference
+
+	// Population: one account per submitter/reader/drafter, registered
+	// before chaos arms so setup cannot flake.
+	submitters := make([]*client, s.Submissions)
+	for i := range submitters {
+		c, err := register(ts.URL, hc, fmt.Sprintf("%s-sub-%04d", s.Name, i))
+		if err != nil {
+			return fail(nil, "setup: %v", err)
+		}
+		submitters[i] = c
+	}
+	readers := make([]*client, s.Readers)
+	for i := range readers {
+		c, err := register(ts.URL, hc, fmt.Sprintf("%s-read-%02d", s.Name, i))
+		if err != nil {
+			return fail(nil, "setup: %v", err)
+		}
+		readers[i] = c
+	}
+	drafters := make([]*client, s.Drafters)
+	for i := range drafters {
+		c, err := register(ts.URL, hc, fmt.Sprintf("%s-draft-%02d", s.Name, i))
+		if err != nil {
+			return fail(nil, "setup: %v", err)
+		}
+		drafters[i] = c
+	}
+
+	// Warm the compiled-program cache through the real pipeline, so the
+	// timed submissions measure the steady-state (cache-hit) path.
+	if s.WarmCache && len(submitters) > 0 {
+		status, code, _, err := submitters[0].do("POST", "/api/v1/labs/"+benchLab+"/submit",
+			map[string]string{"source": ref})
+		if err != nil || status != http.StatusOK {
+			return fail(reg, "warmup submit: status %d code %q err %v", status, code, err)
+		}
+	}
+
+	var (
+		readOK, readShed, draftOK, draftShed int64
+		submitShed, submitRetries            int64
+	)
+	stopBG := make(chan struct{})
+	var bg sync.WaitGroup
+
+	// Background readers: history polls, the lowest-priority class.
+	for _, c := range readers {
+		bg.Add(1)
+		go func(c *client) {
+			defer bg.Done()
+			for {
+				select {
+				case <-stopBG:
+					return
+				default:
+				}
+				status, code, _, err := c.do("GET", "/api/v1/labs/"+benchLab+"/history", nil)
+				switch {
+				case err != nil:
+					// Transport errors (server shutting down) end the loop.
+					return
+				case status == http.StatusOK:
+					atomic.AddInt64(&readOK, 1)
+				case status == http.StatusTooManyRequests && code == ErrCodeOverloaded:
+					atomic.AddInt64(&readShed, 1)
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}(c)
+	}
+
+	// Background drafters: live-session pushes, the middle class.
+	for _, c := range drafters {
+		bg.Add(1)
+		go func(c *client) {
+			defer bg.Done()
+			status, _, data, err := c.do("POST", "/api/v1/labs/"+benchLab+"/session", nil)
+			if err != nil || status != http.StatusCreated {
+				return
+			}
+			var sess struct {
+				DraftURL string `json:"draft_url"`
+			}
+			if json.Unmarshal(data, &sess) != nil || sess.DraftURL == "" {
+				return
+			}
+			n := 0
+			for {
+				select {
+				case <-stopBG:
+					return
+				default:
+				}
+				n++
+				status, code, _, err := c.do("POST", sess.DraftURL,
+					map[string]string{"source": fmt.Sprintf("// draft %d\n%s", n, ref)})
+				switch {
+				case err != nil:
+					return
+				case status == http.StatusAccepted:
+					atomic.AddInt64(&draftOK, 1)
+				case status == http.StatusTooManyRequests && code == ErrCodeOverloaded:
+					atomic.AddInt64(&draftShed, 1)
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}(c)
+	}
+
+	// The spike: chaos (if any) arms only now, and every submitter fires
+	// after its seeded front-loaded jitter. A submission retries transient
+	// failures (worker_unavailable under chaos, §III-C limiter residue)
+	// until it lands or the deadline passes; the measured latency is the
+	// whole retry span — what the student experienced, not one attempt.
+	if s.Chaos {
+		arm(reg, s.FaultRate)
+	}
+	offsets := jitters(s.Seed, len(submitters), 25*time.Millisecond)
+	latencies := make([]time.Duration, len(submitters))
+	errs := make([]error, len(submitters))
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, c := range submitters {
+		wg.Add(1)
+		go func(i int, c *client) {
+			defer wg.Done()
+			time.Sleep(offsets[i])
+			t0 := time.Now()
+			for {
+				status, code, _, err := c.do("POST", "/api/v1/labs/"+benchLab+"/submit",
+					map[string]string{"source": ref})
+				switch {
+				case err != nil:
+					errs[i] = err
+				case status == http.StatusOK:
+					latencies[i] = time.Since(t0)
+					errs[i] = nil
+					return
+				case status == http.StatusTooManyRequests && code == ErrCodeOverloaded:
+					// A shed submission is an acceptance failure; record it
+					// and keep retrying so the drain below still converges.
+					atomic.AddInt64(&submitShed, 1)
+					errs[i] = fmt.Errorf("submission shed (code %s)", code)
+				default:
+					errs[i] = fmt.Errorf("status %d code %q", status, code)
+				}
+				if time.Now().After(deadline) {
+					return
+				}
+				atomic.AddInt64(&submitRetries, 1)
+				time.Sleep(5 * time.Millisecond)
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	close(stopBG)
+	bg.Wait()
+	res.DurationMs = float64(time.Since(start)) / float64(time.Millisecond)
+
+	for _, err := range errs {
+		if err == nil {
+			res.SubmitOK++
+		}
+	}
+	res.SubmitShed = int(atomic.LoadInt64(&submitShed))
+	res.SubmitRetries = int(atomic.LoadInt64(&submitRetries))
+	res.ReadOK = int(atomic.LoadInt64(&readOK))
+	res.ReadShed = int(atomic.LoadInt64(&readShed))
+	res.DraftOK = int(atomic.LoadInt64(&draftOK))
+	res.DraftShed = int(atomic.LoadInt64(&draftShed))
+
+	ok := make([]time.Duration, 0, len(latencies))
+	for i, d := range latencies {
+		if errs[i] == nil {
+			ok = append(ok, d)
+		}
+	}
+	res.summarize(ok)
+
+	// Drain: chaos off, redrive whatever dead-lettered, wait for empty
+	// queues, then check conservation. v1 has no broker — conservation is
+	// vacuous there; the submit counts above already prove delivery.
+	reg.DisableAll()
+	if p.Broker != nil {
+		for {
+			p.Broker.RedriveDeadLetters()
+			if p.Broker.Depth(worker.TopicJobs) == 0 &&
+				p.Broker.Depth(worker.TopicResults) == 0 &&
+				len(p.Broker.DeadLetters()) == 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fail(reg, "drain stalled: jobs depth=%d, results depth=%d, dead=%d",
+					p.Broker.Depth(worker.TopicJobs), p.Broker.Depth(worker.TopicResults),
+					len(p.Broker.DeadLetters()))
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		// Leases for redriven/abandoned jobs may still be settling.
+		for p.Broker.Unaccounted() != 0 && !time.Now().After(deadline) {
+			time.Sleep(5 * time.Millisecond)
+		}
+		res.LostJobs = p.Broker.Unaccounted()
+		res.DeadLetters = len(p.Broker.DeadLetters())
+	}
+	res.DuplicateResults = p.ResultDuplicates()
+
+	for i, err := range errs {
+		if err != nil {
+			return fail(reg, "submitter %d never landed: %v (%d/%d ok)",
+				i, err, res.SubmitOK, s.Submissions)
+		}
+	}
+	if res.LostJobs != 0 {
+		return fail(reg, "broker counters unbalanced by %d (positive = lost, negative = double-counted)",
+			res.LostJobs)
+	}
+	return res, nil
+}
+
+// ErrCodeOverloaded mirrors webserver.ErrCodeOverloaded without the
+// import cycle risk (macrobench already imports platform, which imports
+// webserver — the constant keeps the client's string comparisons local).
+const ErrCodeOverloaded = "overloaded"
+
+// Benchfmt renders the trajectory in Go test benchmark format, one
+// latency quantile per line, for benchstat comparison in CI:
+//
+//	BenchmarkMacro/<scenario>/p50 1 <ns> ns/op
+func Benchfmt(f File) string {
+	var b bytes.Buffer
+	for _, r := range f.Scenarios {
+		for _, q := range []struct {
+			name string
+			ms   float64
+		}{{"p50", r.P50Ms}, {"p95", r.P95Ms}, {"p99", r.P99Ms}} {
+			fmt.Fprintf(&b, "BenchmarkMacro/%s/%s 1 %.0f ns/op\n",
+				r.Name, q.name, q.ms*float64(time.Millisecond))
+		}
+	}
+	return b.String()
+}
+
+// Note describes the calibration for the JSON trajectory's note field.
+func Note() string {
+	return fmt.Sprintf(
+		"spike multiplier %.1f = Figure 1 peak/trough activity ratio; Table I scale ~36k registrants/offering",
+		SpikeMultiplier())
+}

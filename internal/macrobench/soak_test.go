@@ -1,0 +1,165 @@
+package macrobench
+
+import (
+	"os"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// soakSeeds returns the seeds to run: CHAOS_SEED=<n> replays exactly one
+// (the loop a failing CI run tells you to do), otherwise a fixed pair so
+// the suite is deterministic run to run.
+func soakSeeds(t *testing.T) []int64 {
+	if v := os.Getenv("CHAOS_SEED"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			t.Fatalf("CHAOS_SEED=%q is not an integer: %v", v, err)
+		}
+		return []int64{n}
+	}
+	if testing.Short() {
+		return []int64{1}
+	}
+	return []int64{1, 2}
+}
+
+// TestOverloadSoak is the overload-survival acceptance run: a chaos-soaked
+// deadline spike at 10×+ worker capacity, with reader and drafter
+// populations competing for admission. The platform must
+//
+//   - land every submission (zero shed, zero lost — the broker's
+//     conservation invariant holds after the drain),
+//   - shed only the sheddable classes (reads and drafts both observe
+//     429s while the spike saturates the pool),
+//   - keep the end-to-end submission p99 bounded.
+//
+// Every decision flows from the seed; a failure replays with
+// CHAOS_SEED=<seed> go test ./internal/macrobench -run TestOverloadSoak.
+func TestOverloadSoak(t *testing.T) {
+	if testing.Short() && os.Getenv("CHAOS_SEED") == "" {
+		t.Skip("full-platform soak; skipped in -short unless CHAOS_SEED replays it")
+	}
+	for _, seed := range soakSeeds(t) {
+		seed := seed
+		t.Run("seed="+strconv.FormatInt(seed, 10), func(t *testing.T) {
+			s, ok := ByName("chaos-spike", seed)
+			if !ok {
+				t.Fatal("chaos-spike scenario missing from the standard suite")
+			}
+			res, err := Run(s)
+			if err != nil {
+				t.Fatalf("%v\nreplay with CHAOS_SEED=%d", err, seed)
+			}
+			t.Logf("soak: %s", res)
+
+			if s.Multiplier < 10 {
+				t.Errorf("spike multiplier %.1f is below the 10× survival bar", s.Multiplier)
+			}
+			if res.SubmitOK != res.Submissions {
+				t.Errorf("submit_ok = %d, want %d; replay with CHAOS_SEED=%d",
+					res.SubmitOK, res.Submissions, seed)
+			}
+			if res.SubmitShed != 0 {
+				t.Errorf("submission class shed %d requests; submissions must never shed (CHAOS_SEED=%d)",
+					res.SubmitShed, seed)
+			}
+			if res.LostJobs != 0 {
+				t.Errorf("lost_jobs = %d, want 0: broker conservation violated (CHAOS_SEED=%d)",
+					res.LostJobs, seed)
+			}
+			if res.DeadLetters != 0 {
+				t.Errorf("dead_letters = %d after redrive, want 0 (CHAOS_SEED=%d)",
+					res.DeadLetters, seed)
+			}
+			if res.ReadShed == 0 {
+				t.Errorf("read class never shed: the spike did not exercise admission control (CHAOS_SEED=%d)", seed)
+			}
+			if res.DraftShed == 0 {
+				t.Errorf("draft class never shed: the spike did not exercise admission control (CHAOS_SEED=%d)", seed)
+			}
+			// Bounded queue wait: the whole spike is M× capacity of
+			// ~10ms jobs, so even the last-admitted submission should
+			// clear in well under M×10ms×capacity. 5s is an order of
+			// magnitude of slack on top of any observed run — tripping
+			// it means queueing went quadratic or a retry spiral hid
+			// behind the latency numbers.
+			if maxWait := 5 * time.Second; res.P99Ms > float64(maxWait/time.Millisecond) {
+				t.Errorf("submission p99 = %.1fms, want < %v (CHAOS_SEED=%d)",
+					res.P99Ms, maxWait, seed)
+			}
+		})
+	}
+}
+
+// TestDeadlineSpikeNoChaos runs the fault-free spike: same load shape,
+// no injected faults, so a regression here isolates the admission layer
+// from the redelivery machinery.
+func TestDeadlineSpikeNoChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-platform spike; skipped in -short")
+	}
+	s, ok := ByName("deadline-spike", 1)
+	if !ok {
+		t.Fatal("deadline-spike scenario missing from the standard suite")
+	}
+	res, err := Run(s)
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	t.Logf("spike: %s", res)
+	if res.SubmitOK != res.Submissions || res.SubmitShed != 0 || res.LostJobs != 0 {
+		t.Errorf("spike outcome: ok=%d/%d shed=%d lost=%d; want all-ok/0/0",
+			res.SubmitOK, res.Submissions, res.SubmitShed, res.LostJobs)
+	}
+	if res.SubmitRetries != 0 {
+		t.Errorf("submit_retries = %d without chaos, want 0 (nothing should 503)", res.SubmitRetries)
+	}
+	if res.ReadShed == 0 || res.DraftShed == 0 {
+		t.Errorf("read_shed=%d draft_shed=%d; the spike must shed both low classes",
+			res.ReadShed, res.DraftShed)
+	}
+}
+
+// TestScenarioDefaults pins the suite's calibration so a stray edit to
+// the workload model or scenario table shows up as a test diff, not as a
+// silently weaker benchmark.
+func TestScenarioDefaults(t *testing.T) {
+	if m := SpikeMultiplier(); m < 10 {
+		t.Errorf("SpikeMultiplier() = %.1f, want >= 10 (Figure 1 peak/trough)", m)
+	}
+	names := map[string]bool{}
+	for _, s := range Scenarios(0) {
+		names[s.Name] = true
+		if s.Seed == 0 {
+			t.Errorf("scenario %s has no default seed", s.Name)
+		}
+	}
+	for _, want := range []string{"cold-submit", "warm-submit", "deadline-spike", "chaos-spike"} {
+		if !names[want] {
+			t.Errorf("standard suite is missing %q", want)
+		}
+	}
+	if _, ok := ByName("no-such-scenario", 0); ok {
+		t.Error("ByName returned a scenario for an unknown name")
+	}
+	s, ok := ByName("chaos-spike", 77)
+	if !ok || s.Seed != 77 {
+		t.Errorf("ByName seed override: got seed %d ok=%v, want 77 true", s.Seed, ok)
+	}
+	if !s.Chaos || s.FaultRate <= 0 {
+		t.Errorf("chaos-spike must arm faults: chaos=%v rate=%v", s.Chaos, s.FaultRate)
+	}
+}
+
+// TestBenchfmt pins the benchstat-compatible emission format.
+func TestBenchfmt(t *testing.T) {
+	f := File{Schema: Schema, Scenarios: []Result{{Name: "x", P50Ms: 1, P95Ms: 2, P99Ms: 3}}}
+	got := Benchfmt(f)
+	want := "BenchmarkMacro/x/p50 1 1000000 ns/op\n" +
+		"BenchmarkMacro/x/p95 1 2000000 ns/op\n" +
+		"BenchmarkMacro/x/p99 1 3000000 ns/op\n"
+	if got != want {
+		t.Errorf("Benchfmt:\n got %q\nwant %q", got, want)
+	}
+}

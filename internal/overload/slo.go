@@ -1,0 +1,125 @@
+package overload
+
+import (
+	"sync"
+	"time"
+)
+
+// burnTracker measures how fast a class is burning its availability
+// error budget, Google-SRE style: for each window,
+//
+//	burn = shedFraction / (1 - target)
+//
+// so burn 1.0 means the class is consuming its budget exactly at the
+// rate that would exhaust it by the end of the SLO period; burn 10 means
+// ten times faster. The fast window (default 5m) catches a sudden
+// overload, the slow window (default 1h) a smolder that a single spike
+// would not show.
+//
+// Each window is a ring of fixed-width buckets stamped with the epoch
+// index they belong to, so advancing is O(1) per record and the clock is
+// fully injectable — tests drive it with a fake time source and never
+// sleep.
+type burnTracker struct {
+	cfg  SLOConfig
+	mu   sync.Mutex
+	fast *ring
+	slow *ring
+}
+
+func newBurnTracker(cfg SLOConfig) *burnTracker {
+	return &burnTracker{
+		cfg:  cfg,
+		fast: newRing(cfg.FastWindow),
+		slow: newRing(cfg.SlowWindow),
+	}
+}
+
+// record counts one admission decision at time now.
+func (t *burnTracker) record(now time.Time, admitted bool) {
+	t.mu.Lock()
+	t.fast.record(now, admitted)
+	t.slow.record(now, admitted)
+	t.mu.Unlock()
+}
+
+// burnRates reports the fast and slow burn rates at time now. Windows
+// with no traffic report zero burn — an idle class is not burning budget.
+func (t *burnTracker) burnRates(now time.Time) (fast, slow float64) {
+	budget := 1 - t.cfg.Target
+	if budget <= 0 {
+		return 0, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.fast.shedFraction(now) / budget, t.slow.shedFraction(now) / budget
+}
+
+// ringBuckets fixes each window's resolution: window/ringBuckets per
+// bucket, so a 5m fast window rolls off in 10s steps.
+const ringBuckets = 30
+
+// ring is a fixed-size bucket ring over one window. Bucket i holds the
+// tallies for epoch e where e%ringBuckets == i; the stored epoch detects
+// stale buckets lazily, so no background ticker is needed.
+type ring struct {
+	width   time.Duration // one bucket's span
+	epochs  [ringBuckets]int64
+	total   [ringBuckets]float64
+	shed    [ringBuckets]float64
+	anchor  time.Time // epoch 0 origin, set on first record
+	started bool
+}
+
+func newRing(window time.Duration) *ring {
+	w := window / ringBuckets
+	if w <= 0 {
+		w = time.Second
+	}
+	return &ring{width: w}
+}
+
+func (r *ring) epoch(now time.Time) int64 {
+	return int64(now.Sub(r.anchor) / r.width)
+}
+
+func (r *ring) record(now time.Time, admitted bool) {
+	if !r.started {
+		r.anchor = now
+		r.started = true
+	}
+	e := r.epoch(now)
+	if e < 0 {
+		return // clock went backwards past the anchor; drop rather than corrupt
+	}
+	i := int(e % ringBuckets)
+	if r.epochs[i] != e {
+		r.epochs[i] = e
+		r.total[i] = 0
+		r.shed[i] = 0
+	}
+	r.total[i]++
+	if !admitted {
+		r.shed[i]++
+	}
+}
+
+// shedFraction reports shed/total over the buckets still inside the
+// window ending at now.
+func (r *ring) shedFraction(now time.Time) float64 {
+	if !r.started {
+		return 0
+	}
+	e := r.epoch(now)
+	var total, shed float64
+	for i := 0; i < ringBuckets; i++ {
+		if age := e - r.epochs[i]; age >= 0 && age < ringBuckets && r.total[i] > 0 {
+			total += r.total[i]
+			shed += r.shed[i]
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return shed / total
+}

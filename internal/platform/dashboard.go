@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"webgpu/internal/overload"
 	"webgpu/internal/progcache"
 )
 
@@ -21,6 +22,11 @@ type Status struct {
 	Evictions     int64  // v1: workers dropped for missed health checks
 	GradebookRows int64
 	ProgCache     progcache.Stats // compiled-program cache effectiveness
+
+	// Pressure and SLO are the overload-survival view: system pressure
+	// in [0, ∞) and the per-class admission/shed/burn snapshot.
+	Pressure float64
+	SLO      []overload.SLOStatus
 }
 
 // Status captures the current system state.
@@ -31,6 +37,8 @@ func (p *Platform) Status() Status {
 		DBSeq:         p.DB.Seq(),
 		GradebookRows: p.Gradebook.Writes(),
 		ProgCache:     p.progs.Stats(),
+		Pressure:      p.overload.Pressure(),
+		SLO:           p.overload.SLOStatuses(),
 	}
 	switch p.Arch {
 	case V1:
@@ -70,6 +78,11 @@ func (s Status) Render() string {
 		strings.Join(parts, ", "), s.ProgCache.BytecodeBytes)
 	fmt.Fprintf(&sb, "kernelcheck:    %d analyses, %d diagnostic hits\n",
 		s.ProgCache.Analyzes, s.ProgCache.HitsDiagnostics)
+	fmt.Fprintf(&sb, "pressure:       %.2f\n", s.Pressure)
+	for _, slo := range s.SLO {
+		fmt.Fprintf(&sb, "slo %-11s %.0f admitted, %.0f shed, %d inflight, burn %.2f fast / %.2f slow (target %.3f)\n",
+			slo.Name+":", slo.Admitted, slo.Shed, slo.Inflight, slo.FastBurn, slo.SlowBurn, slo.Target)
+	}
 	if s.BrokerStats != "" {
 		fmt.Fprintf(&sb, "broker backlog: %d (standby mirror depth %d)\n", s.BrokerBacklog, s.StandbyDepth)
 		fmt.Fprintf(&sb, "broker stats:   %s\n", s.BrokerStats)

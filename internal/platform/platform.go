@@ -25,6 +25,7 @@ import (
 	"webgpu/internal/grader"
 	"webgpu/internal/labs"
 	"webgpu/internal/metrics"
+	"webgpu/internal/overload"
 	"webgpu/internal/peerreview"
 	"webgpu/internal/progcache"
 	"webgpu/internal/queue"
@@ -65,6 +66,18 @@ type Options struct {
 	// broker, workers, dispatch, and result routing. Nil disables
 	// injection at zero cost.
 	Faults *faultinject.Registry
+
+	// Overload tunes the web tier's admission controller (priority-class
+	// load shedding, per-tenant rate limits, burn-rate SLOs). Nil uses
+	// the controller defaults. The platform wires the broker backlog and
+	// live-session load as its backpressure signals either way.
+	Overload *overload.Config
+
+	// Limits overrides the web tier's sandbox limits (the §III-C
+	// per-user submission interval); zero keeps the defaults. Benchmarks
+	// shorten the interval so a spike exercises the admission layer, not
+	// the 10-second per-user limiter.
+	Limits sandbox.Limits
 }
 
 // Platform is a running WebGPU deployment.
@@ -90,6 +103,7 @@ type Platform struct {
 	progs         *progcache.Cache  // shared by every worker node of this deployment
 	metrics       *metrics.Registry // one registry across web tier + every node
 	traces        *trace.Store      // recent job traces, behind /api/admin/traces
+	overload      *overload.Controller
 	mu            sync.Mutex
 	v1Count       int
 	closed        bool
@@ -187,17 +201,36 @@ func New(opts Options) *Platform {
 		})
 	}
 
+	// Admission control: the broker's job backlog is the deployment's
+	// primary backpressure signal (v1 push dispatch has no queue, so the
+	// signal stays zero there and pressure comes from the web tier alone).
+	ocfg := overload.Config{Metrics: p.metrics}
+	if opts.Overload != nil {
+		ocfg = *opts.Overload
+		if ocfg.Metrics == nil {
+			ocfg.Metrics = p.metrics
+		}
+	}
+	ctrl := overload.New(ocfg)
+	if p.Broker != nil {
+		ctrl.SetQueueDepth(func() int { return p.Broker.Backlog(worker.TopicJobs) })
+	}
+	p.metrics.AddCollector(ctrl.Collect)
+	p.overload = ctrl
+
 	scfg := webserver.Config{
 		DB:         p.DB,
 		Dispatcher: dispatcher,
 		Gradebook:  p.Gradebook,
 		Reviews:    p.Reviews,
 		Course:     opts.Course,
+		Limits:     opts.Limits,
 		Metrics:    p.metrics,
 		Traces:     p.traces,
 		// Live dev sessions compile through the same cache the workers use,
 		// so a draft the student later submits is already warm.
 		ProgCache: p.progs,
+		Overload:  ctrl,
 	}
 	if p.Broker != nil {
 		scfg.Queue = p.Broker
@@ -224,6 +257,9 @@ func (p *Platform) Traces() *trace.Store { return p.traces }
 
 // ProgCache exposes the deployment-wide compiled-program cache.
 func (p *Platform) ProgCache() *progcache.Cache { return p.progs }
+
+// Overload exposes the deployment's admission controller.
+func (p *Platform) Overload() *overload.Controller { return p.overload }
 
 // Handler returns the HTTP handler of the web tier.
 func (p *Platform) Handler() http.Handler { return p.Server.Handler() }

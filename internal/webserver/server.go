@@ -27,6 +27,7 @@ import (
 	"webgpu/internal/kernelcheck"
 	"webgpu/internal/labs"
 	"webgpu/internal/metrics"
+	"webgpu/internal/overload"
 	"webgpu/internal/peerreview"
 	"webgpu/internal/progcache"
 	"webgpu/internal/queue"
@@ -86,8 +87,15 @@ type Config struct {
 	ProgCache *progcache.Cache
 
 	// DevSessions overrides the live-session manager (tests tune its
-	// debounce/limits); nil builds one from ProgCache/Metrics/Traces/Clock.
+	// debounce/limits); nil builds one from ProgCache/Metrics/Traces/Clock
+	// (with overload pressure wired so drafts shed before submissions).
 	DevSessions *devsession.Manager
+
+	// Overload is the admission controller every classed route passes
+	// through: priority-class load shedding (submissions > drafts >
+	// reads), per-tenant rate limits, and burn-rate SLOs. Nil builds one
+	// with the default (generous) limits on the shared Metrics/Clock.
+	Overload *overload.Controller
 
 	// SSEHeartbeat is the interval between keepalive comments on event
 	// streams (0 = 15s).
@@ -111,6 +119,7 @@ type Server struct {
 	queue        QueueAdmin
 	progs        *progcache.Cache
 	devsessions  *devsession.Manager
+	overload     *overload.Controller
 	sseHeartbeat time.Duration
 
 	// policies maps lab ID → analysis policy (worker.Analysis*). Unlike
@@ -143,12 +152,19 @@ func New(cfg Config) *Server {
 	if cfg.ProgCache == nil {
 		cfg.ProgCache = progcache.New(progcache.DefaultCapacity, nil)
 	}
+	if cfg.Overload == nil {
+		cfg.Overload = overload.New(overload.Config{
+			Clock:   cfg.Clock,
+			Metrics: cfg.Metrics,
+		})
+	}
 	if cfg.DevSessions == nil {
 		cfg.DevSessions = devsession.NewManager(devsession.Config{
-			Cache:   cfg.ProgCache,
-			Metrics: cfg.Metrics,
-			Traces:  cfg.Traces,
-			Clock:   cfg.Clock,
+			Cache:    cfg.ProgCache,
+			Metrics:  cfg.Metrics,
+			Traces:   cfg.Traces,
+			Clock:    cfg.Clock,
+			Pressure: cfg.Overload.Pressure,
 		})
 	}
 	if cfg.SSEHeartbeat <= 0 {
@@ -169,8 +185,12 @@ func New(cfg Config) *Server {
 		queue:        cfg.Queue,
 		progs:        cfg.ProgCache,
 		devsessions:  cfg.DevSessions,
+		overload:     cfg.Overload,
 		sseHeartbeat: cfg.SSEHeartbeat,
 	}
+	// Live sessions are a backpressure signal: a wall of open draft loops
+	// raises pressure, which sheds reads first, then drafts themselves.
+	s.overload.SetDraftLoad(s.devsessions.Active)
 	s.limiter.SetClock(cfg.Clock)
 	s.db.CreateIndex("users", "email")
 	s.routes()
@@ -225,6 +245,10 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // shutdown; tests inspect it).
 func (s *Server) DevSessions() *devsession.Manager { return s.devsessions }
 
+// Overload exposes the admission controller (deployments wire its
+// backpressure signals; tests inspect its counters).
+func (s *Server) Overload() *overload.Controller { return s.overload }
+
 // APIVersionHeader names the response header stamping which API surface
 // served the request ("v1", or "legacy" on the deprecated unversioned
 // aliases).
@@ -252,18 +276,18 @@ func (s *Server) apiRoutes() []apiRoute {
 		{Method: "GET", Pattern: "labs/{lab}", handler: s.auth(s.handleGetLab)},
 		{Method: "POST", Pattern: "labs/{lab}/save", handler: s.auth(s.handleSave)},
 		{Method: "GET", Pattern: "labs/{lab}/code", handler: s.auth(s.handleGetCode)},
-		{Method: "GET", Pattern: "labs/{lab}/history", handler: s.auth(s.handleHistory)},
-		{Method: "POST", Pattern: "labs/{lab}/compile", handler: s.auth(s.handleCompile)},
-		{Method: "POST", Pattern: "labs/{lab}/attempt", handler: s.auth(s.handleAttempt)},
-		{Method: "GET", Pattern: "labs/{lab}/attempts", handler: s.auth(s.handleAttempts)},
+		{Method: "GET", Pattern: "labs/{lab}/history", handler: s.auth(s.classed(overload.ClassRead, s.handleHistory))},
+		{Method: "POST", Pattern: "labs/{lab}/compile", handler: s.auth(s.classed(overload.ClassSubmission, s.handleCompile))},
+		{Method: "POST", Pattern: "labs/{lab}/attempt", handler: s.auth(s.classed(overload.ClassSubmission, s.handleAttempt))},
+		{Method: "GET", Pattern: "labs/{lab}/attempts", handler: s.auth(s.classed(overload.ClassRead, s.handleAttempts))},
 		{Method: "POST", Pattern: "labs/{lab}/questions", handler: s.auth(s.handleAnswerQuestions)},
-		{Method: "POST", Pattern: "labs/{lab}/submit", handler: s.auth(s.handleSubmit)},
-		{Method: "GET", Pattern: "labs/{lab}/grade", handler: s.auth(s.handleGetGrade)},
+		{Method: "POST", Pattern: "labs/{lab}/submit", handler: s.auth(s.classed(overload.ClassSubmission, s.handleSubmit))},
+		{Method: "GET", Pattern: "labs/{lab}/grade", handler: s.auth(s.classed(overload.ClassRead, s.handleGetGrade))},
 		{Method: "GET", Pattern: "labs/{lab}/hints", handler: s.auth(s.handleHints)},
 		{Method: "POST", Pattern: "attempts/{attempt}/share", handler: s.auth(s.handleShare)},
 		{Method: "GET", Pattern: "share/{token}", handler: s.handleViewShare},
-		{Method: "GET", Pattern: "reviews", handler: s.auth(s.handleMyReviews)},
-		{Method: "POST", Pattern: "reviews/complete", handler: s.auth(s.handleCompleteReview)},
+		{Method: "GET", Pattern: "reviews", handler: s.auth(s.classed(overload.ClassRead, s.handleMyReviews))},
+		{Method: "POST", Pattern: "reviews/complete", handler: s.auth(s.classed(overload.ClassRead, s.handleCompleteReview))},
 		{Method: "GET", Pattern: "instructor/roster/{lab}", handler: s.instructor(s.handleRoster)},
 		{Method: "GET", Pattern: "instructor/student/{user}/{lab}", handler: s.instructor(s.handleStudentDetail)},
 		{Method: "POST", Pattern: "instructor/override", handler: s.instructor(s.handleOverride)},
@@ -281,7 +305,7 @@ func (s *Server) apiRoutes() []apiRoute {
 		// Live development loop (v1-native: streaming has no legacy alias).
 		{Method: "POST", Pattern: "labs/{lab}/session", V1Only: true, handler: s.auth(s.handleOpenSession)},
 		{Method: "GET", Pattern: "sessions/{id}/events", V1Only: true, handler: s.auth(s.handleSessionEvents)},
-		{Method: "POST", Pattern: "sessions/{id}/draft", V1Only: true, handler: s.auth(s.handleSessionDraft)},
+		{Method: "POST", Pattern: "sessions/{id}/draft", V1Only: true, handler: s.auth(s.classed(overload.ClassDraft, s.handleSessionDraft))},
 		{Method: "DELETE", Pattern: "sessions/{id}", V1Only: true, handler: s.auth(s.handleCloseSession)},
 	}
 }
@@ -361,6 +385,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	mark("devsessions", ComponentHealth{Status: "ok",
 		Detail: fmt.Sprintf("%d active", s.devsessions.Active())})
 
+	// Overload: degraded when the submission class is burning its fast
+	// error budget faster than 1× — the signal pagers alert on. Reads and
+	// drafts shedding is the system working as designed, not ill health.
+	slos := s.overload.SLOStatuses()
+	oh := ComponentHealth{Status: "ok",
+		Detail: fmt.Sprintf("pressure %.2f", s.overload.Pressure())}
+	for _, st := range slos {
+		if st.Class == overload.ClassSubmission && st.FastBurn > 1 {
+			oh = ComponentHealth{Status: "degraded",
+				Detail: fmt.Sprintf("submission fast burn %.1f× budget", st.FastBurn)}
+		}
+	}
+	mark("overload", oh)
+
 	status := "ok"
 	code := http.StatusOK
 	if degraded {
@@ -370,6 +408,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, map[string]interface{}{
 		"status":     status,
 		"components": comps,
+		"slo":        slos,
 	})
 }
 
@@ -471,6 +510,7 @@ const (
 	ErrCodeNotFound          = "not_found"
 	ErrCodeConflict          = "conflict"
 	ErrCodeRateLimited       = "rate_limited"
+	ErrCodeOverloaded        = "overloaded"
 	ErrCodeWorkerUnavailable = "worker_unavailable"
 	ErrCodeInternal          = "internal"
 	ErrCodeNotImplemented    = "not_implemented"
@@ -591,6 +631,36 @@ func (s *Server) auth(h authedHandler) http.HandlerFunc {
 		}
 		h(w, r, &u)
 	}
+}
+
+// classed passes an authenticated handler through the admission
+// controller: the request is charged against the caller's and the
+// course's token buckets and holds a priority-class concurrency slot for
+// its duration. A shed renders the unified envelope as 429 with a
+// Retry-After hint; per-tenant bucket sheds keep the rate_limited code
+// (the client's own fault), every other shed is overloaded (the
+// system's state).
+func (s *Server) classed(cl overload.Class, h authedHandler) authedHandler {
+	return func(w http.ResponseWriter, r *http.Request, u *User) {
+		ticket, err := s.overload.Admit(r.Context(), cl, "user:"+u.ID, "course:"+string(s.course))
+		if err != nil {
+			s.writeShed(w, err)
+			return
+		}
+		defer ticket.Release()
+		h(w, r, u)
+	}
+}
+
+// writeShed renders one shed decision: 429, Retry-After, unified envelope.
+func (s *Server) writeShed(w http.ResponseWriter, err error) {
+	w.Header().Set("Retry-After", strconv.Itoa(overload.RetryAfterSeconds(err)))
+	code := ErrCodeOverloaded
+	var se *overload.ShedError
+	if errors.As(err, &se) && se.Reason == overload.ReasonRateLimited {
+		code = ErrCodeRateLimited
+	}
+	writeErr(w, http.StatusTooManyRequests, code, "%v", err)
 }
 
 // instructor additionally requires the instructor role.

@@ -1,21 +1,34 @@
-// Command benchgate is the soft performance gate used by the CI bench job.
-// It parses `go test -bench` output and compares each benchmark's ns/op
-// against the ceilings committed in BENCH_baseline.json. Ceilings are
-// deliberately generous (roughly 2x a warm local run) so the gate only
-// trips on order-of-magnitude regressions, not machine noise; the CI job
-// runs it with continue-on-error so a trip annotates the run rather than
-// blocking the merge.
+// Command benchgate is the soft performance gate used by the CI bench
+// jobs. It has two modes:
 //
-// A benchmark listed in the baseline but absent from the output is a
-// failure, not a skip: a renamed or deleted benchmark must force a
-// baseline update instead of quietly un-gating itself.
+// Micro (default): parses `go test -bench` output and compares each
+// benchmark's ns/op against the ceilings committed in BENCH_baseline.json.
 //
-// Usage: benchgate <baseline.json> <bench-output.txt>
+// Macro (-macro): parses the BENCH_macro.json trajectory emitted by
+// `webgpu-bench -macro` and gates each scenario's end-to-end submission
+// latency quantiles plus its hard invariants — shed submissions and lost
+// jobs, which have ceilings of zero: an overload spike may slow the
+// system down, it may never lose work.
+//
+// Ceilings are deliberately generous (roughly 2x a warm local run) so the
+// gate only trips on order-of-magnitude regressions, not machine noise;
+// the CI jobs run it with continue-on-error so a trip annotates the run
+// rather than blocking the merge.
+//
+// A benchmark or scenario listed in the baseline but absent from the
+// output is a failure, not a skip: a renamed or deleted entry must force
+// a baseline update instead of quietly un-gating itself.
+//
+// Usage:
+//
+//	benchgate <baseline.json> <bench-output.txt>
+//	benchgate -macro <baseline.json> <BENCH_macro.json>
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -24,17 +37,53 @@ import (
 	"strings"
 )
 
-type baseline struct {
-	Note       string             `json:"note"`
-	Benchmarks map[string]float64 `json:"benchmarks"` // name -> ns/op ceiling
+// macroCeiling is the committed bound for one macro scenario. Latency
+// ceilings are soft (noise-tolerant, 0 = ungated); SubmitShed/LostJobs
+// default to a hard zero — the overload layer's whole contract.
+type macroCeiling struct {
+	P50Ms          float64 `json:"p50_ms"`
+	P99Ms          float64 `json:"p99_ms"`
+	MaxSubmitShed  int     `json:"max_submit_shed"`
+	MaxLostJobs    int64   `json:"max_lost_jobs"`
+	MaxDeadLetters int     `json:"max_dead_letters"`
 }
 
+type baseline struct {
+	Note       string                  `json:"note"`
+	Benchmarks map[string]float64      `json:"benchmarks"` // name -> ns/op ceiling
+	Macro      map[string]macroCeiling `json:"macro"`      // scenario -> bounds
+}
+
+// macroFile mirrors macrobench.File / macrobench.Result. The shape is
+// duplicated here deliberately: the gate must keep parsing old trajectory
+// files even if the bench package's types move on, and a schema mismatch
+// must be an explicit failure.
+type macroFile struct {
+	Schema    string        `json:"schema"`
+	Scenarios []macroResult `json:"scenarios"`
+}
+
+type macroResult struct {
+	Name        string  `json:"name"`
+	SubmitOK    int     `json:"submit_ok"`
+	SubmitShed  int     `json:"submit_shed"`
+	LostJobs    int64   `json:"lost_jobs"`
+	DeadLetters int     `json:"dead_letters"`
+	P50Ms       float64 `json:"p50_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+}
+
+// macroSchema is the trajectory layout this gate understands.
+const macroSchema = "webgpu-macro/v1"
+
 func main() {
-	if len(os.Args) != 3 {
-		fmt.Fprintln(os.Stderr, "usage: benchgate <baseline.json> <bench-output.txt>")
+	macro := flag.Bool("macro", false, "gate a BENCH_macro.json trajectory instead of go test -bench output")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchgate [-macro] <baseline.json> <results-file>")
 		os.Exit(2)
 	}
-	raw, err := os.ReadFile(os.Args[1])
+	raw, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(2)
@@ -45,13 +94,23 @@ func main() {
 		os.Exit(2)
 	}
 
-	results, err := parseBenchFile(os.Args[2])
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchgate:", err)
-		os.Exit(2)
+	var failed bool
+	if *macro {
+		mf, err := parseMacroFile(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		failed = gateMacro(base, mf, os.Stdout)
+	} else {
+		results, err := parseBenchFile(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		failed = gate(base, results, os.Stdout)
 	}
-
-	if gate(base, results, os.Stdout) {
+	if failed {
 		fmt.Println("benchgate: soft gate tripped — investigate before merging")
 		os.Exit(1)
 	}
@@ -83,6 +142,92 @@ func gate(base baseline, results map[string]float64, w io.Writer) (failed bool) 
 		fmt.Fprintf(w, "benchgate: %-9s %-45s %12.0f ns/op (ceiling %.0f)\n", status, name, got, ceiling)
 	}
 	return failed
+}
+
+// gateMacro checks every baselined scenario of the trajectory: latency
+// quantiles against their soft ceilings, shed/lost/dead counts against
+// their (normally zero) hard bounds. Scenarios in the trajectory but not
+// in the baseline pass through ungated — adding a scenario should not
+// require a lockstep baseline edit — but a baselined scenario missing
+// from the trajectory fails.
+func gateMacro(base baseline, mf macroFile, w io.Writer) (failed bool) {
+	byName := map[string]macroResult{}
+	for _, r := range mf.Scenarios {
+		byName[r.Name] = r
+	}
+	names := make([]string, 0, len(base.Macro))
+	for name := range base.Macro {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c := base.Macro[name]
+		r, ok := byName[name]
+		if !ok {
+			fmt.Fprintf(w, "benchgate: MISSING   macro/%-35s (no scenario in trajectory)\n", name)
+			failed = true
+			continue
+		}
+		var trips []string
+		trip := func(format string, args ...interface{}) {
+			trips = append(trips, fmt.Sprintf(format, args...))
+		}
+		if c.P50Ms > 0 && r.P50Ms > c.P50Ms {
+			trip("p50 %.1fms exceeds ceiling %.1fms", r.P50Ms, c.P50Ms)
+		}
+		if c.P99Ms > 0 && r.P99Ms > c.P99Ms {
+			trip("p99 %.1fms exceeds ceiling %.1fms", r.P99Ms, c.P99Ms)
+		}
+		if r.SubmitShed > c.MaxSubmitShed {
+			trip("submit_shed %d exceeds max %d (submissions must not shed)", r.SubmitShed, c.MaxSubmitShed)
+		}
+		if r.LostJobs > c.MaxLostJobs {
+			trip("lost_jobs %d exceeds max %d (work was lost)", r.LostJobs, c.MaxLostJobs)
+		}
+		if r.DeadLetters > c.MaxDeadLetters {
+			trip("dead_letters %d exceeds max %d (redrive left work parked)", r.DeadLetters, c.MaxDeadLetters)
+		}
+		if len(trips) > 0 {
+			failed = true
+			for _, msg := range trips {
+				fmt.Fprintf(w, "benchgate: REGRESSED macro/%-35s %s\n", name, msg)
+			}
+			continue
+		}
+		fmt.Fprintf(w, "benchgate: ok        macro/%-35s p50 %.1fms p99 %.1fms shed %d lost %d\n",
+			name, r.P50Ms, r.P99Ms, r.SubmitShed, r.LostJobs)
+	}
+	return failed
+}
+
+func parseMacroFile(path string) (macroFile, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return macroFile{}, err
+	}
+	return parseMacro(raw)
+}
+
+// parseMacro decodes and validates a trajectory. Unknown schemas and
+// structurally broken files are hard (exit 2) errors: a gate that shrugs
+// at garbage input is not gating anything.
+func parseMacro(raw []byte) (macroFile, error) {
+	var mf macroFile
+	if err := json.Unmarshal(raw, &mf); err != nil {
+		return macroFile{}, fmt.Errorf("parse macro trajectory: %w", err)
+	}
+	if mf.Schema != macroSchema {
+		return macroFile{}, fmt.Errorf("macro trajectory schema %q, want %q", mf.Schema, macroSchema)
+	}
+	if len(mf.Scenarios) == 0 {
+		return macroFile{}, fmt.Errorf("macro trajectory has no scenarios")
+	}
+	for i, s := range mf.Scenarios {
+		if s.Name == "" {
+			return macroFile{}, fmt.Errorf("macro trajectory scenario %d has no name", i)
+		}
+	}
+	return mf, nil
 }
 
 func parseBenchFile(path string) (map[string]float64, error) {

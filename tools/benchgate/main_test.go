@@ -75,3 +75,117 @@ func TestGateMissingBenchmarkFails(t *testing.T) {
 		t.Errorf("output missing MISSING line:\n%s", sb.String())
 	}
 }
+
+// ---- Macro mode ----------------------------------------------------------------
+
+const macroTrajectory = `{
+  "schema": "webgpu-macro/v1",
+  "scenarios": [
+    {"name": "warm-submit", "submit_ok": 4, "submit_shed": 0, "lost_jobs": 0,
+     "dead_letters": 0, "p50_ms": 8.1, "p99_ms": 12.4},
+    {"name": "chaos-spike", "submit_ok": 56, "submit_shed": 0, "lost_jobs": 0,
+     "dead_letters": 0, "p50_ms": 90.0, "p99_ms": 220.0}
+  ]
+}`
+
+func mustParseMacro(t *testing.T, raw string) macroFile {
+	t.Helper()
+	mf, err := parseMacro([]byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mf
+}
+
+func TestMacroGateWithinCeilings(t *testing.T) {
+	base := baseline{Macro: map[string]macroCeiling{
+		"warm-submit": {P50Ms: 200, P99Ms: 500},
+		"chaos-spike": {P50Ms: 2000, P99Ms: 5000},
+	}}
+	var sb strings.Builder
+	if gateMacro(base, mustParseMacro(t, macroTrajectory), &sb) {
+		t.Fatalf("macro gate tripped within ceilings:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "macro/warm-submit") {
+		t.Errorf("output missing per-scenario ok line:\n%s", sb.String())
+	}
+}
+
+func TestMacroGateMissingScenarioFails(t *testing.T) {
+	// A baselined scenario absent from the trajectory (renamed, or the
+	// bench silently stopped running it) must fail, not skip.
+	base := baseline{Macro: map[string]macroCeiling{
+		"deadline-spike": {P99Ms: 5000},
+	}}
+	var sb strings.Builder
+	if !gateMacro(base, mustParseMacro(t, macroTrajectory), &sb) {
+		t.Fatal("macro gate did not trip on a missing scenario")
+	}
+	if !strings.Contains(sb.String(), "MISSING") || !strings.Contains(sb.String(), "deadline-spike") {
+		t.Errorf("output missing MISSING line:\n%s", sb.String())
+	}
+}
+
+func TestMacroGateP99CeilingTrip(t *testing.T) {
+	base := baseline{Macro: map[string]macroCeiling{
+		"chaos-spike": {P50Ms: 2000, P99Ms: 100}, // far below the 220ms result
+	}}
+	var sb strings.Builder
+	if !gateMacro(base, mustParseMacro(t, macroTrajectory), &sb) {
+		t.Fatal("macro gate did not trip on a p99 regression")
+	}
+	if !strings.Contains(sb.String(), "REGRESSED") || !strings.Contains(sb.String(), "p99") {
+		t.Errorf("output missing p99 REGRESSED line:\n%s", sb.String())
+	}
+}
+
+func TestMacroGateLostJobsAndShedAreHardZero(t *testing.T) {
+	lossy := `{
+  "schema": "webgpu-macro/v1",
+  "scenarios": [
+    {"name": "chaos-spike", "submit_ok": 50, "submit_shed": 3, "lost_jobs": 2,
+     "dead_letters": 1, "p50_ms": 10, "p99_ms": 20}
+  ]
+}`
+	base := baseline{Macro: map[string]macroCeiling{
+		"chaos-spike": {P50Ms: 2000, P99Ms: 5000}, // latency fine; invariants not
+	}}
+	var sb strings.Builder
+	if !gateMacro(base, mustParseMacro(t, lossy), &sb) {
+		t.Fatal("macro gate did not trip on shed submissions / lost jobs")
+	}
+	for _, want := range []string{"submit_shed", "lost_jobs", "dead_letters"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("output missing %s trip:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestParseMacroRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"truncated JSON": `{"schema": "webgpu-macro/v1", "scenarios": [`,
+		"wrong schema":   `{"schema": "webgpu-macro/v999", "scenarios": [{"name": "x"}]}`,
+		"no scenarios":   `{"schema": "webgpu-macro/v1", "scenarios": []}`,
+		"unnamed row":    `{"schema": "webgpu-macro/v1", "scenarios": [{"p50_ms": 1}]}`,
+	}
+	for name, raw := range cases {
+		if _, err := parseMacro([]byte(raw)); err == nil {
+			t.Errorf("%s: parseMacro accepted malformed input", name)
+		}
+	}
+}
+
+func TestMacroGateUnknownScenarioPassesThrough(t *testing.T) {
+	// Trajectory rows without a baseline entry are not gated: adding a
+	// scenario must not demand a lockstep baseline edit.
+	base := baseline{Macro: map[string]macroCeiling{
+		"warm-submit": {P50Ms: 200, P99Ms: 500},
+	}}
+	var sb strings.Builder
+	if gateMacro(base, mustParseMacro(t, macroTrajectory), &sb) {
+		t.Fatalf("macro gate tripped on an un-baselined scenario:\n%s", sb.String())
+	}
+	if strings.Contains(sb.String(), "chaos-spike") {
+		t.Errorf("un-baselined scenario appeared in gate output:\n%s", sb.String())
+	}
+}
