@@ -8,6 +8,7 @@
 //	webgpu-bench -list
 //	webgpu-bench -exp table1
 //	webgpu-bench -exp all
+//	webgpu-bench -macro list
 //	webgpu-bench -macro all -out BENCH_macro.json -benchfmt macro.txt
 //	webgpu-bench -macro chaos-spike -seed 42
 package main
@@ -16,6 +17,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -26,7 +28,7 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list available experiments and macro scenarios")
 	exp := flag.String("exp", "", "experiment id to run, or 'all'")
-	macro := flag.String("macro", "", "macro scenario to run, or 'all'")
+	macro := flag.String("macro", "", "macro scenario to run, 'all', or 'list'")
 	seed := flag.Int64("seed", 0, "macro: override every scenario's seed (0 = scenario defaults)")
 	out := flag.String("out", "", "macro: write the BENCH_macro.json trajectory here")
 	benchfmt := flag.String("benchfmt", "", "macro: also write Go benchmark format (for benchstat) here")
@@ -38,10 +40,7 @@ func main() {
 			fmt.Printf("  %-14s %s\n", e.ID, e.Name)
 		}
 		fmt.Println("macro scenarios (-macro):")
-		for _, s := range macrobench.Scenarios(0) {
-			fmt.Printf("  %-14s %d submitters (%.0f× capacity), %d readers, %d drafters, chaos=%v\n",
-				s.Name, s.Submissions, s.Multiplier, s.Readers, s.Drafters, s.Chaos)
-		}
+		listMacro(os.Stdout)
 		return
 	}
 
@@ -74,19 +73,39 @@ func main() {
 	run(*e)
 }
 
+// listMacro prints the scenario table shared by -list and -macro list.
+func listMacro(w io.Writer) {
+	for _, s := range macrobench.Scenarios(0) {
+		mode := fmt.Sprintf("chaos=%v", s.Chaos)
+		if s.Restart {
+			mode = "restart (durable artifact store)"
+		}
+		fmt.Fprintf(w, "  %-14s %.0f× capacity, %d readers, %d drafters, %s\n",
+			s.Name, s.Multiplier, s.Readers, s.Drafters, mode)
+	}
+	fmt.Fprintf(w, "  %-14s run every scenario above\n", "all")
+}
+
 // runMacro executes the selected macro scenarios and writes the JSON
 // trajectory (and optional benchfmt lines). A failed scenario prints its
 // replayable error and exits nonzero; the trajectory written so far is
-// still flushed, so CI archives the partial evidence.
+// still flushed, so CI archives the partial evidence. An unknown scenario
+// name is a usage error: exit 2 with the valid names.
 func runMacro(name string, seed int64, outPath, benchPath string) {
+	if name == "list" {
+		fmt.Println("macro scenarios:")
+		listMacro(os.Stdout)
+		return
+	}
 	var scenarios []macrobench.Scenario
 	if name == "all" {
 		scenarios = macrobench.Scenarios(seed)
 	} else {
 		s, ok := macrobench.ByName(name, seed)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown macro scenario %q; use -list\n", name)
-			os.Exit(1)
+			fmt.Fprintf(os.Stderr, "unknown macro scenario %q; valid scenarios:\n", name)
+			listMacro(os.Stderr)
+			os.Exit(2)
 		}
 		scenarios = []macrobench.Scenario{s}
 	}

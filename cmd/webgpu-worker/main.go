@@ -15,7 +15,9 @@ import (
 	"os"
 	"time"
 
+	"webgpu/internal/castore"
 	"webgpu/internal/labs"
+	"webgpu/internal/progcache"
 	"webgpu/internal/queue"
 	"webgpu/internal/worker"
 )
@@ -26,6 +28,8 @@ func main() {
 	jobs := flag.Int("jobs", 50, "jobs to push through the broker")
 	labID := flag.String("lab", "vector-add", "lab whose reference solution to run")
 	dataset := flag.Int("dataset", 0, "dataset index (-1 = all)")
+	cacheDir := flag.String("cache-dir", os.Getenv("WEBGPU_CACHE_DIR"),
+		"durable artifact store directory shared with other fleets (default $WEBGPU_CACHE_DIR; empty = memory-only)")
 	flag.Parse()
 
 	l := labs.ByID(*labID)
@@ -33,11 +37,27 @@ func main() {
 		log.Fatalf("unknown lab %q", *labID)
 	}
 
+	// The fleet shares one program cache; with -cache-dir it reads
+	// through to the durable store, so a fleet restarted against a warm
+	// directory never recompiles the lab's working set.
+	progs := progcache.New(progcache.DefaultCapacity, nil)
+	var store *castore.Store
+	if *cacheDir != "" {
+		var err error
+		store, err = castore.Open(*cacheDir, castore.Options{})
+		if err != nil {
+			log.Fatalf("artifact store: %v", err)
+		}
+		defer store.Close()
+		progs.SetStore(store)
+	}
+
 	broker := queue.NewBroker()
 	cfgSrv := worker.NewConfigServer(worker.DefaultConfig())
 	fleet := worker.NewFleet(broker, cfgSrv, func(id string) *worker.Node {
 		cfg := worker.DefaultNodeConfig(id)
 		cfg.GPUs = *gpus
+		cfg.ProgCache = progs
 		return worker.NewNode(cfg)
 	})
 	fleet.Scale(*workers)
@@ -91,4 +111,10 @@ func main() {
 	fmt.Printf("wall time:  %v (%.1f jobs/s)\n", elapsed.Round(time.Millisecond),
 		float64(*jobs)/elapsed.Seconds())
 	fmt.Printf("broker:     %+v\n", broker.Stats())
+	cs := progs.Stats()
+	fmt.Printf("prog cache: %d hits, %d misses, %d compiles, %d disk hits\n",
+		cs.Hits, cs.Misses, cs.Compiles, cs.DiskHits)
+	if store != nil {
+		fmt.Printf("artifacts:  %+v\n", store.Stats())
+	}
 }

@@ -1,0 +1,541 @@
+// Package castore is the durable content-addressed artifact store behind
+// progcache: a dolt-inspired on-disk object store keyed by the same
+// content hash progcache already computes, so compiled programs and
+// kernel diagnostics survive process restarts and can be shared by every
+// platform (or shard) pointed at the same directory.
+//
+// Layout under the store root:
+//
+//	objects/<key[:2]>/<key>.<blob>   one artifact file per (key, blob)
+//	quarantine/<name>                hash-mismatched files, moved aside
+//	manifest.log                     append-only access log driving GC
+//
+// Durability and integrity:
+//
+//   - Writes go to a temp file in the final fanout directory and are
+//     renamed into place, so readers only ever observe complete files and
+//     a crash mid-write leaves a .tmp that Open sweeps away.
+//   - Every file carries a header with the payload's SHA-256; reads verify
+//     it. The store key hashes the *source*, not the artifact, so this
+//     header is what catches torn writes and bit rot. A failed check
+//     quarantines the file and reports a miss — corruption degrades to a
+//     recompile, never a crash or a wrong artifact.
+//   - The manifest is opened O_APPEND; records are small enough that
+//     concurrent appenders (two platforms on one directory) interleave
+//     whole lines on any POSIX filesystem, and replay skips torn tails.
+//
+// Garbage collection is least-recently-accessed: when a Put pushes the
+// object bytes over Options.MaxBytes, the store drops the
+// longest-unaccessed entries until it is back under budget. Access order
+// and heat come from replaying the manifest at Open and tracking gets in
+// memory afterwards; HottestKeys exposes the most-accessed keys so a
+// booting worker can eagerly warm the entries most likely to be hit.
+package castore
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+
+	"webgpu/internal/faultinject"
+	"webgpu/internal/metrics"
+)
+
+const (
+	fileMagic   = "WGCA"
+	fileVersion = 1
+	// headerSize = magic + version byte + sha256 + 8-byte payload length.
+	headerSize = 4 + 1 + sha256.Size + 8
+)
+
+// Options configures a store.
+type Options struct {
+	// MaxBytes bounds the objects directory; 0 disables GC.
+	MaxBytes int64
+	// Metrics, when set, gets castore_* gauges registered as a collector.
+	Metrics *metrics.Registry
+	// Faults arms the castore.read / castore.write injection points.
+	Faults *faultinject.Registry
+}
+
+// Stats is a snapshot of store counters since Open.
+type Stats struct {
+	Hits         int64 // verified reads served
+	Misses       int64 // absent entries (and injected read faults)
+	Puts         int64 // artifacts persisted
+	Discards     int64 // entries dropped by the caller (codec skew etc.)
+	Corruptions  int64 // hash/header verification failures
+	Quarantined  int64 // corrupt files successfully moved aside
+	BytesRead    int64 // payload bytes served
+	BytesWritten int64 // payload bytes persisted
+	DiskBytes    int64 // current objects/ footprint (headers included)
+	GCRemoved    int64 // entries evicted by the size bound
+	Objects      int64 // current entry count
+}
+
+// access is the per-entry recency/heat record behind GC and preloading.
+type access struct {
+	seq   int64 // last access order; higher = hotter recency
+	count int64 // total accesses over the manifest's lifetime
+}
+
+// Store is a persistent content-addressed artifact store. All methods are
+// safe for concurrent use; a nil *Store is inert (reads miss, writes drop).
+type Store struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	manifest *os.File
+	seq      int64
+	accesses map[string]*access // keyed "key.blob"
+	sizes    map[string]int64   // on-disk size per "key.blob"
+	stats    Stats
+	diskFull bool
+	closed   bool
+}
+
+// Open opens (creating if needed) a store rooted at dir, sweeps leftover
+// temp files from crashed writers, and replays the access manifest.
+func Open(dir string, opts Options) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("castore: empty directory")
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+		return nil, fmt.Errorf("castore: %w", err)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "quarantine"), 0o755); err != nil {
+		return nil, fmt.Errorf("castore: %w", err)
+	}
+	s := &Store{
+		dir:      dir,
+		opts:     opts,
+		accesses: map[string]*access{},
+		sizes:    map[string]int64{},
+	}
+	// Inventory the objects tree: footprint for the GC budget, and sweep
+	// temp files a crashed writer left behind.
+	err := filepath.Walk(filepath.Join(dir, "objects"), func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		if strings.HasSuffix(path, ".tmp") {
+			return os.Remove(path)
+		}
+		s.sizes[filepath.Base(path)] = info.Size()
+		s.stats.DiskBytes += info.Size()
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("castore: scan objects: %w", err)
+	}
+	s.stats.Objects = int64(len(s.sizes))
+	s.replayManifest()
+	mf, err := os.OpenFile(filepath.Join(dir, "manifest.log"),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("castore: open manifest: %w", err)
+	}
+	s.manifest = mf
+	if opts.Metrics != nil {
+		opts.Metrics.AddCollector(func(r *metrics.Registry) {
+			st := s.Stats()
+			r.Set("castore_hits", float64(st.Hits))
+			r.Set("castore_misses", float64(st.Misses))
+			r.Set("castore_puts", float64(st.Puts))
+			r.Set("castore_discards", float64(st.Discards))
+			r.Set("castore_corruptions", float64(st.Corruptions))
+			r.Set("castore_quarantined", float64(st.Quarantined))
+			r.Set("castore_bytes_read", float64(st.BytesRead))
+			r.Set("castore_bytes_written", float64(st.BytesWritten))
+			r.Set("castore_disk_bytes", float64(st.DiskBytes))
+			r.Set("castore_gc_removed", float64(st.GCRemoved))
+			r.Set("castore_objects", float64(st.Objects))
+		})
+	}
+	return s, nil
+}
+
+// replayManifest rebuilds access order and heat. Torn tails (a crashed
+// appender) and records for since-deleted entries are skipped silently.
+func (s *Store) replayManifest() {
+	data, err := os.ReadFile(filepath.Join(s.dir, "manifest.log"))
+	if err != nil {
+		return
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 2 || (fields[0] != "get" && fields[0] != "put") {
+			continue
+		}
+		s.seq++
+		a := s.accesses[fields[1]]
+		if a == nil {
+			a = &access{}
+			s.accesses[fields[1]] = a
+		}
+		a.seq = s.seq
+		a.count++
+	}
+}
+
+// entryName is the manifest/size-map key for one artifact file.
+func entryName(key, blob string) string { return key + "." + blob }
+
+// validName rejects anything that could escape the fanout layout; keys
+// are progcache content hashes (lowercase hex), blobs short ASCII words.
+func validName(key, blob string) bool {
+	if len(key) < 2 || len(key) > 128 || blob == "" || len(blob) > 32 {
+		return false
+	}
+	for _, c := range key {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	for _, c := range blob {
+		if (c < 'a' || c > 'z') && c != '-' {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Store) objectPath(key, blob string) string {
+	return filepath.Join(s.dir, "objects", key[:2], entryName(key, blob))
+}
+
+// note records an access (under s.mu) and appends it to the manifest.
+func (s *Store) note(op, key, blob string) {
+	s.seq++
+	name := entryName(key, blob)
+	a := s.accesses[name]
+	if a == nil {
+		a = &access{}
+		s.accesses[name] = a
+	}
+	a.seq = s.seq
+	a.count++
+	if s.manifest != nil {
+		// An append failure (disk full) only costs manifest history —
+		// GC order degrades, correctness doesn't.
+		fmt.Fprintf(s.manifest, "%s %s\n", op, name)
+	}
+}
+
+// Get returns the payload stored under (key, blob). The second result is
+// false on a miss; a file that fails hash verification is quarantined and
+// reported as a miss, so the caller's only fallback path is "recompile".
+func (s *Store) Get(key, blob string) ([]byte, bool) {
+	if s == nil || !validName(key, blob) {
+		return nil, false
+	}
+	if err := s.opts.Faults.Fire(faultinject.PointCAStoreRead); err != nil {
+		s.mu.Lock()
+		s.stats.Misses++
+		s.mu.Unlock()
+		return nil, false
+	}
+	path := s.objectPath(key, blob)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		s.mu.Lock()
+		s.stats.Misses++
+		s.mu.Unlock()
+		return nil, false
+	}
+	payload, verr := verify(data)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if verr != nil {
+		s.stats.Corruptions++
+		s.quarantineLocked(key, blob, path)
+		return nil, false
+	}
+	s.stats.Hits++
+	s.stats.BytesRead += int64(len(payload))
+	s.note("get", key, blob)
+	return payload, true
+}
+
+// verify checks the file header and payload hash, returning the payload.
+func verify(data []byte) ([]byte, error) {
+	if len(data) < headerSize || string(data[:4]) != fileMagic {
+		return nil, errors.New("bad magic")
+	}
+	if data[4] != fileVersion {
+		return nil, fmt.Errorf("unsupported file version %d", data[4])
+	}
+	want := data[5 : 5+sha256.Size]
+	n := binary.BigEndian.Uint64(data[5+sha256.Size : headerSize])
+	payload := data[headerSize:]
+	if uint64(len(payload)) != n {
+		return nil, fmt.Errorf("payload length %d, header says %d", len(payload), n)
+	}
+	got := sha256.Sum256(payload)
+	for i := range got {
+		if got[i] != want[i] {
+			return nil, errors.New("payload hash mismatch")
+		}
+	}
+	return payload, nil
+}
+
+// quarantineLocked moves a corrupt file aside (never deletes: the bytes
+// are evidence) under a name unique enough for repeat offenders.
+func (s *Store) quarantineLocked(key, blob, path string) {
+	dst := filepath.Join(s.dir, "quarantine",
+		fmt.Sprintf("%s.%d", entryName(key, blob), s.stats.Corruptions))
+	if err := os.Rename(path, dst); err != nil {
+		// Already quarantined by a racing reader, or the file vanished;
+		// either way it is no longer servable.
+		if !os.IsNotExist(err) {
+			os.Remove(path)
+		}
+	} else {
+		s.stats.Quarantined++
+	}
+	s.dropEntryLocked(entryName(key, blob))
+}
+
+func (s *Store) dropEntryLocked(name string) {
+	if sz, ok := s.sizes[name]; ok {
+		s.stats.DiskBytes -= sz
+		s.stats.Objects--
+		delete(s.sizes, name)
+	}
+	delete(s.accesses, name)
+}
+
+// Put persists payload under (key, blob) with an atomic temp-file +
+// rename. Identical keys hold identical content by construction, so a
+// concurrent double-write is benign last-write-wins. Errors are returned
+// for observability but callers treat the store as best-effort.
+func (s *Store) Put(key, blob string, payload []byte) error {
+	if s == nil {
+		return nil
+	}
+	if !validName(key, blob) {
+		return fmt.Errorf("castore: invalid entry name %q.%q", key, blob)
+	}
+	if err := s.opts.Faults.Fire(faultinject.PointCAStoreWrite); err != nil {
+		return err
+	}
+	dir := filepath.Join(s.dir, "objects", key[:2])
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return s.writeFailed(err)
+	}
+	buf := make([]byte, headerSize, headerSize+len(payload))
+	copy(buf, fileMagic)
+	buf[4] = fileVersion
+	sum := sha256.Sum256(payload)
+	copy(buf[5:], sum[:])
+	binary.BigEndian.PutUint64(buf[5+sha256.Size:], uint64(len(payload)))
+	buf = append(buf, payload...)
+
+	tmp, err := os.CreateTemp(dir, entryName(key, blob)+".*.tmp")
+	if err != nil {
+		return s.writeFailed(err)
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return s.writeFailed(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return s.writeFailed(err)
+	}
+	if err := os.Rename(tmp.Name(), s.objectPath(key, blob)); err != nil {
+		os.Remove(tmp.Name())
+		return s.writeFailed(err)
+	}
+
+	name := entryName(key, blob)
+	s.mu.Lock()
+	if old, ok := s.sizes[name]; ok {
+		s.stats.DiskBytes -= old
+		s.stats.Objects--
+	}
+	s.sizes[name] = int64(len(buf))
+	s.stats.DiskBytes += int64(len(buf))
+	s.stats.Objects++
+	s.stats.Puts++
+	s.stats.BytesWritten += int64(len(payload))
+	s.diskFull = false
+	s.note("put", key, blob)
+	s.gcLocked()
+	s.mu.Unlock()
+	return nil
+}
+
+// writeFailed notes a failed write, flagging disk-full for /healthz.
+func (s *Store) writeFailed(err error) error {
+	if errors.Is(err, syscall.ENOSPC) {
+		s.mu.Lock()
+		s.diskFull = true
+		s.mu.Unlock()
+	}
+	return fmt.Errorf("castore: write: %w", err)
+}
+
+// Discard removes an entry that verified but could not be used — a codec
+// version skew after a deploy, say. Unlike corruption this is an expected
+// lifecycle event and does not degrade health.
+func (s *Store) Discard(key, blob string) {
+	if s == nil || !validName(key, blob) {
+		return
+	}
+	path := s.objectPath(key, blob)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := os.Remove(path); err == nil || os.IsNotExist(err) {
+		s.stats.Discards++
+		s.dropEntryLocked(entryName(key, blob))
+	}
+}
+
+// gcLocked enforces the MaxBytes budget by evicting the least recently
+// accessed entries. Entries present on disk but absent from the manifest
+// (history lost) count as oldest.
+func (s *Store) gcLocked() {
+	if s.opts.MaxBytes <= 0 || s.stats.DiskBytes <= s.opts.MaxBytes {
+		return
+	}
+	type victim struct {
+		name string
+		seq  int64
+	}
+	victims := make([]victim, 0, len(s.sizes))
+	for name := range s.sizes {
+		var seq int64
+		if a := s.accesses[name]; a != nil {
+			seq = a.seq
+		}
+		victims = append(victims, victim{name, seq})
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].seq < victims[j].seq })
+	for _, v := range victims {
+		if s.stats.DiskBytes <= s.opts.MaxBytes || v.seq == s.seq {
+			break // under budget, or down to the entry just written
+		}
+		path := filepath.Join(s.dir, "objects", v.name[:2], v.name)
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			continue
+		}
+		s.stats.GCRemoved++
+		s.dropEntryLocked(v.name)
+	}
+}
+
+// HottestKeys returns up to n distinct store keys ordered by total access
+// count (ties broken by recency), for eager warm-start preloading.
+func (s *Store) HottestKeys(n int) []string {
+	if s == nil || n <= 0 {
+		return nil
+	}
+	s.mu.Lock()
+	type heat struct {
+		key        string
+		count, seq int64
+	}
+	byKey := map[string]*heat{}
+	for name, a := range s.accesses {
+		if _, ok := s.sizes[name]; !ok {
+			continue // manifest record for a deleted entry
+		}
+		dot := strings.IndexByte(name, '.')
+		if dot <= 0 {
+			continue
+		}
+		key := name[:dot]
+		h := byKey[key]
+		if h == nil {
+			h = &heat{key: key}
+			byKey[key] = h
+		}
+		h.count += a.count
+		if a.seq > h.seq {
+			h.seq = a.seq
+		}
+	}
+	s.mu.Unlock()
+	heats := make([]*heat, 0, len(byKey))
+	for _, h := range byKey {
+		heats = append(heats, h)
+	}
+	sort.Slice(heats, func(i, j int) bool {
+		if heats[i].count != heats[j].count {
+			return heats[i].count > heats[j].count
+		}
+		return heats[i].seq > heats[j].seq
+	})
+	if len(heats) > n {
+		heats = heats[:n]
+	}
+	keys := make([]string, len(heats))
+	for i, h := range heats {
+		keys[i] = h.key
+	}
+	return keys
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Store) Stats() Stats {
+	if s == nil {
+		return Stats{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Health reports the component status for /healthz: degraded when
+// corruption has been quarantined (the artifacts recompile fine, but the
+// disk deserves a look) or the last write hit disk-full.
+func (s *Store) Health() (status, detail string) {
+	if s == nil {
+		return "absent", "no store configured"
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case s.diskFull:
+		return "degraded", fmt.Sprintf("disk full; %d objects, %d B", s.stats.Objects, s.stats.DiskBytes)
+	case s.stats.Corruptions > 0:
+		return "degraded", fmt.Sprintf("%d corrupt entries quarantined; %d objects, %d hits, %d misses",
+			s.stats.Corruptions, s.stats.Objects, s.stats.Hits, s.stats.Misses)
+	default:
+		return "ok", fmt.Sprintf("%d objects, %d B, %d hits, %d misses",
+			s.stats.Objects, s.stats.DiskBytes, s.stats.Hits, s.stats.Misses)
+	}
+}
+
+// Dir returns the store root.
+func (s *Store) Dir() string {
+	if s == nil {
+		return ""
+	}
+	return s.dir
+}
+
+// Close flushes and closes the manifest. The store must not be used after.
+func (s *Store) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.manifest == nil {
+		return nil
+	}
+	s.closed = true
+	return s.manifest.Close()
+}

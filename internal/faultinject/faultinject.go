@@ -51,6 +51,10 @@ const (
 
 	// Database durability (internal/db).
 	PointWALAppend = "wal.append" // the write-ahead-log append fails; the commit surfaces the error
+
+	// Durable artifact store (internal/castore).
+	PointCAStoreRead  = "castore.read"  // a store read fails mid-flight; the caller treats it as a miss
+	PointCAStoreWrite = "castore.write" // a store write fails before the atomic rename; nothing is persisted
 )
 
 // Fault configures one armed fault point.

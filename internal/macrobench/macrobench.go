@@ -70,6 +70,21 @@ type Scenario struct {
 	// every measured job hits the program cache (the steady-state path).
 	WarmCache bool
 
+	// Restart arms the restart-storm flow: boot against a durable artifact
+	// store, warm it with real traffic, tear the platform down, boot a
+	// second platform on the same directory, and measure the post-restart
+	// submit path. The scenario fails if the rebooted deployment
+	// recompiles any cached source.
+	Restart bool
+	// CacheDir is the durable artifact store directory (empty: restart
+	// scenarios use a fresh temp dir removed after the run; others stay
+	// memory-only).
+	CacheDir string
+	// PreloadHottest eagerly warm-starts this many programs at boot
+	// (restart scenarios default to half the working set, so both the
+	// eager-preload and lazy read-through paths are exercised).
+	PreloadHottest int
+
 	Timeout time.Duration
 }
 
@@ -132,6 +147,17 @@ type Result struct {
 	DeadLetters      int   `json:"dead_letters"`
 	DuplicateResults int64 `json:"duplicate_results"`
 
+	// Restart-storm phases: submit latency medians for the first boot's
+	// cold pass, its warm re-pass (the pre-restart baseline), and the
+	// rebooted platform's pass against the same store directory — plus how
+	// many cached sources the reboot recompiled (must be 0) and how many
+	// it served from the durable store instead.
+	ColdP50Ms        float64 `json:"cold_p50_ms,omitempty"`
+	PreRestartP50Ms  float64 `json:"pre_restart_p50_ms,omitempty"`
+	PostRestartP50Ms float64 `json:"post_restart_p50_ms,omitempty"`
+	Recompiles       int64   `json:"recompiles,omitempty"`
+	DiskHits         int64   `json:"disk_hits,omitempty"`
+
 	// End-to-end submission latency over HTTP, milliseconds.
 	P50Ms float64 `json:"p50_ms"`
 	P95Ms float64 `json:"p95_ms"`
@@ -189,6 +215,8 @@ func Scenarios(seed int64) []Scenario {
 		base("chaos-spike", Scenario{Workers: 2, GPUsPerWorker: 2,
 			Multiplier: spike, Readers: 3, Drafters: 3, WarmCache: true,
 			Chaos: true, FaultRate: 0.05}),
+		base("restart-storm", Scenario{Workers: 2, GPUsPerWorker: 2,
+			Multiplier: 2, Restart: true}),
 	}
 }
 
@@ -210,13 +238,15 @@ func newPlatform(s Scenario, reg *faultinject.Registry) *platform.Platform {
 	lim := sandbox.DefaultLimits()
 	lim.SubmitInterval = time.Millisecond
 	return platform.New(platform.Options{
-		Arch:          s.Arch,
-		Workers:       s.Workers,
-		GPUsPerWorker: s.GPUsPerWorker,
-		Faults:        reg,
-		Limits:        lim,
-		DispatchWait:  5 * time.Second,        // chaos: bound a lost dispatch, client retries
-		Visibility:    250 * time.Millisecond, // fast redelivery of crash-abandoned leases
+		Arch:           s.Arch,
+		Workers:        s.Workers,
+		GPUsPerWorker:  s.GPUsPerWorker,
+		Faults:         reg,
+		Limits:         lim,
+		CacheDir:       s.CacheDir,
+		PreloadHottest: s.PreloadHottest,
+		DispatchWait:   5 * time.Second,        // chaos: bound a lost dispatch, client retries
+		Visibility:     250 * time.Millisecond, // fast redelivery of crash-abandoned leases
 		Overload: &overload.Config{
 			// Backlog at one full pool's worth of jobs = saturated: while
 			// the spike keeps the workers busy the broker backlog pins

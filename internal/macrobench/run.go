@@ -104,6 +104,9 @@ func register(base string, hc *http.Client, name string) (*client, error) {
 // the seed for replay.
 func Run(s Scenario) (Result, error) {
 	s = s.withDefaults()
+	if s.Restart {
+		return runRestartStorm(s)
+	}
 	res := Result{
 		Name:        s.Name,
 		Seed:        s.Seed,

@@ -135,7 +135,7 @@ func TestScenarioDefaults(t *testing.T) {
 			t.Errorf("scenario %s has no default seed", s.Name)
 		}
 	}
-	for _, want := range []string{"cold-submit", "warm-submit", "deadline-spike", "chaos-spike"} {
+	for _, want := range []string{"cold-submit", "warm-submit", "deadline-spike", "chaos-spike", "restart-storm"} {
 		if !names[want] {
 			t.Errorf("standard suite is missing %q", want)
 		}

@@ -277,10 +277,10 @@ __global__ void probe(int *iout, float *fout, int a, int b, float x, float y) {
 	}
 }
 
-// TestDiffEdgeCases pins down traps, barriers, atomics, device functions,
-// pointer arithmetic, constant memory, and narrow types — the behaviours
-// most likely to diverge between the engines.
-func TestDiffEdgeCases(t *testing.T) {
+// diffEdgeCases returns the curated trap/barrier/atomic/device-function/
+// pointer/constant-memory corpus. Shared between the engine differential
+// tests and the codec round-trip tests in codec_test.go.
+func diffEdgeCases() []diffCase {
 	cases := []diffCase{
 		// Runtime traps: identical error strings and partial stats required.
 		{kernel: "k", src: `__global__ void k(int *iout, float *fout, int n) {
@@ -428,22 +428,32 @@ __global__ void k(int *iout, float *fout) {
 }
 __global__ void k(int *iout, float *fout) { iout[0] = spin(3); }`},
 	}
-	cases = append(cases, more...)
-	for i, c := range cases {
+	return append(cases, more...)
+}
+
+// TestDiffEdgeCases pins down traps, barriers, atomics, device functions,
+// pointer arithmetic, constant memory, and narrow types — the behaviours
+// most likely to diverge between the engines.
+func TestDiffEdgeCases(t *testing.T) {
+	for i, c := range diffEdgeCases() {
 		i, c := i, c
 		t.Run(fmt.Sprintf("case%02d", i), func(t *testing.T) { runDiff(t, c) })
 	}
 }
 
-// TestDiffWarpDivergence: curated divergence-heavy multi-lane kernels that
+// namedDiffCase pairs a diffCase with a subtest name.
+type namedDiffCase struct {
+	name string
+	c    diffCase
+}
+
+// warpDivergenceCases returns divergence-heavy multi-lane kernels that
 // stress the warp engine's strand splitting, reconvergence-by-merge, and
 // the barrier arrive/wait split. All are race-free and trap-free so the
-// three engines must agree bit-for-bit on outputs and stats.
-func TestDiffWarpDivergence(t *testing.T) {
-	cases := []struct {
-		name string
-		c    diffCase
-	}{
+// three engines must agree bit-for-bit on outputs and stats. Shared with
+// codec_test.go.
+func warpDivergenceCases() []namedDiffCase {
+	return []namedDiffCase{
 		{"nested-divergent-branches", diffCase{kernel: "k", block: gpusim.D1(32), nInt: 32,
 			src: `__global__ void k(int *iout, float *fout) {
   int t = threadIdx.x;
@@ -553,7 +563,12 @@ __global__ void k(int *iout, float *fout) {
   atomicMax(&iout[2], (t * 7) % 31);
 }`}},
 	}
-	for _, c := range cases {
+}
+
+// TestDiffWarpDivergence runs the curated divergence corpus through all
+// three engines with the tree walker as oracle.
+func TestDiffWarpDivergence(t *testing.T) {
+	for _, c := range warpDivergenceCases() {
 		c := c
 		t.Run(c.name, func(t *testing.T) { runDiff(t, c.c) })
 	}

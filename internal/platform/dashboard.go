@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"webgpu/internal/castore"
 	"webgpu/internal/overload"
 	"webgpu/internal/progcache"
 )
@@ -23,6 +24,11 @@ type Status struct {
 	GradebookRows int64
 	ProgCache     progcache.Stats // compiled-program cache effectiveness
 
+	// Artifacts is the durable store's view; HasArtifacts distinguishes a
+	// memory-only deployment from a store with all-zero counters.
+	Artifacts    castore.Stats
+	HasArtifacts bool
+
 	// Pressure and SLO are the overload-survival view: system pressure
 	// in [0, ∞) and the per-class admission/shed/burn snapshot.
 	Pressure float64
@@ -39,6 +45,10 @@ func (p *Platform) Status() Status {
 		ProgCache:     p.progs.Stats(),
 		Pressure:      p.overload.Pressure(),
 		SLO:           p.overload.SLOStatuses(),
+	}
+	if p.store != nil {
+		s.Artifacts = p.store.Stats()
+		s.HasArtifacts = true
 	}
 	switch p.Arch {
 	case V1:
@@ -78,6 +88,13 @@ func (s Status) Render() string {
 		strings.Join(parts, ", "), s.ProgCache.BytecodeBytes)
 	fmt.Fprintf(&sb, "kernelcheck:    %d analyses, %d diagnostic hits\n",
 		s.ProgCache.Analyzes, s.ProgCache.HitsDiagnostics)
+	if s.HasArtifacts {
+		fmt.Fprintf(&sb, "artifact store: %d objects (%d B), %d hits, %d misses, %d disk-warm programs (%d preloaded), %d corrupt quarantined, %d gc-removed\n",
+			s.Artifacts.Objects, s.Artifacts.DiskBytes, s.Artifacts.Hits, s.Artifacts.Misses,
+			s.ProgCache.DiskHits, s.ProgCache.Preloaded, s.Artifacts.Quarantined, s.Artifacts.GCRemoved)
+	} else {
+		fmt.Fprintf(&sb, "artifact store: absent (memory-only cache)\n")
+	}
 	fmt.Fprintf(&sb, "pressure:       %.2f\n", s.Pressure)
 	for _, slo := range s.SLO {
 		fmt.Fprintf(&sb, "slo %-11s %.0f admitted, %.0f shed, %d inflight, burn %.2f fast / %.2f slow (target %.3f)\n",

@@ -16,10 +16,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"sync"
 	"time"
 
+	"webgpu/internal/castore"
 	"webgpu/internal/db"
 	"webgpu/internal/faultinject"
 	"webgpu/internal/grader"
@@ -78,6 +80,23 @@ type Options struct {
 	// shorten the interval so a spike exercises the admission layer, not
 	// the 10-second per-user limiter.
 	Limits sandbox.Limits
+
+	// CacheDir, when set, opens a durable content-addressed artifact
+	// store (internal/castore) at this path and wires the progcache
+	// through it: misses read through to disk before compiling,
+	// successful compiles write through, and a restart against the same
+	// directory warm-starts instead of recompiling the course's working
+	// set. Deployments (or shards) sharing a directory share compiles.
+	CacheDir string
+
+	// CacheMaxBytes bounds the artifact store's on-disk footprint
+	// (least-recently-accessed entries are collected first); 0 disables
+	// the bound.
+	CacheMaxBytes int64
+
+	// PreloadHottest eagerly decodes the store's N most-accessed
+	// programs into memory at boot; 0 relies on lazy read-through only.
+	PreloadHottest int
 }
 
 // Platform is a running WebGPU deployment.
@@ -101,6 +120,7 @@ type Platform struct {
 
 	opts          Options
 	progs         *progcache.Cache  // shared by every worker node of this deployment
+	store         *castore.Store    // durable artifact tier under progs; nil without CacheDir
 	metrics       *metrics.Registry // one registry across web tier + every node
 	traces        *trace.Store      // recent job traces, behind /api/admin/traces
 	overload      *overload.Controller
@@ -138,6 +158,26 @@ func New(opts Options) *Platform {
 		metrics:   metrics.NewRegistry(),
 		traces:    trace.NewStore(0),
 	}
+	if opts.CacheDir != "" {
+		store, err := castore.Open(opts.CacheDir, castore.Options{
+			MaxBytes: opts.CacheMaxBytes,
+			Metrics:  p.metrics,
+			Faults:   opts.Faults,
+		})
+		if err != nil {
+			// A broken cache directory must not stop the platform from
+			// serving — it boots memory-only and /healthz reports the
+			// castore component absent.
+			log.Printf("platform: artifact store at %s unavailable, running memory-only: %v",
+				opts.CacheDir, err)
+		} else {
+			p.store = store
+			p.progs.SetStore(store)
+			if n := opts.PreloadHottest; n > 0 {
+				p.progs.WarmStart(n)
+			}
+		}
+	}
 	// Lazy gauges: subsystems with their own stats structs refresh on
 	// each metrics export instead of pushing on every event.
 	p.metrics.AddCollector(func(r *metrics.Registry) {
@@ -149,6 +189,9 @@ func New(opts Options) *Platform {
 		r.Set("progcache_hits_ast", float64(s.HitsAST))
 		r.Set("progcache_hits_diagnostics", float64(s.HitsDiagnostics))
 		r.Set("progcache_bytecode_bytes", float64(s.BytecodeBytes))
+		r.Set("progcache_disk_hits", float64(s.DiskHits))
+		r.Set("progcache_disk_diag_hits", float64(s.DiskDiagHits))
+		r.Set("progcache_preloaded", float64(s.Preloaded))
 		r.Set("kernelcheck_analyzes", float64(s.Analyzes))
 		r.Set("workers", float64(p.Workers()))
 	})
@@ -230,6 +273,7 @@ func New(opts Options) *Platform {
 		// Live dev sessions compile through the same cache the workers use,
 		// so a draft the student later submits is already warm.
 		ProgCache: p.progs,
+		Artifacts: p.store,
 		Overload:  ctrl,
 	}
 	if p.Broker != nil {
@@ -257,6 +301,9 @@ func (p *Platform) Traces() *trace.Store { return p.traces }
 
 // ProgCache exposes the deployment-wide compiled-program cache.
 func (p *Platform) ProgCache() *progcache.Cache { return p.progs }
+
+// ArtifactStore exposes the durable artifact store (nil without CacheDir).
+func (p *Platform) ArtifactStore() *castore.Store { return p.store }
 
 // Overload exposes the deployment's admission controller.
 func (p *Platform) Overload() *overload.Controller { return p.overload }
@@ -334,6 +381,9 @@ func (p *Platform) Close() {
 	}
 	if p.StandbyBroker != nil {
 		p.StandbyBroker.Close()
+	}
+	if p.store != nil {
+		p.store.Close()
 	}
 	p.DB.Close()
 }

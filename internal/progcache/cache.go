@@ -17,9 +17,11 @@ import (
 	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"strings"
 	"sync"
 
+	"webgpu/internal/castore"
 	"webgpu/internal/kernelcheck"
 	"webgpu/internal/metrics"
 	"webgpu/internal/minicuda"
@@ -59,25 +61,67 @@ type Stats struct {
 	HitsBytecode     int64 // hits on programs carrying a bytecode artifact
 	HitsBytecodeWarp int64 // hits on programs carrying a fused warp-stream artifact
 	HitsDiagnostics  int64 // diagnostics served without re-analysis
-	Misses           int64 // had to compile
+	Misses           int64 // absent from memory (disk or compile filled it)
 	Coalesced        int64 // waited on a concurrent identical compile
 	Evictions        int64 // entries dropped by the LRU bound
-	Compiles         int64 // underlying compile executions (== Misses)
+	Compiles         int64 // underlying compile executions (== Misses - DiskHits)
 	Analyzes         int64 // kernelcheck runs (first request per entry)
+	DiskHits         int64 // programs decoded from the durable store instead of compiled
+	DiskDiagHits     int64 // diagnostics decoded from the durable store instead of analyzed
+	Preloaded        int64 // programs eagerly warm-started from the store at boot
 	Size             int   // entries currently cached
 	BytecodeBytes    int64 // lowered-bytecode bytes held by cached entries
 }
 
+// Castore blob names per artifact family: the three program kinds are one
+// serialized stream (the decoded program carries all of them), diagnostics
+// persist as JSON beside it.
+const (
+	ProgBlob = "prog"
+	DiagBlob = "diag"
+)
+
+// artifactSpec registers one cacheable artifact kind: the name used for
+// metrics and dashboards, and the castore blob it persists into.
+type artifactSpec struct {
+	kind string
+	blob string
+}
+
+// artifactSpecs is the single registration table every kind-derived
+// surface comes from — ArtifactKinds, hitMetric, and the store blob
+// mapping. Adding a persisted artifact kind here is the whole
+// registration; nothing else can silently drift.
+var artifactSpecs = []artifactSpec{
+	{kind: "ast", blob: ProgBlob},
+	{kind: "bytecode", blob: ProgBlob},
+	{kind: "bytecode-warp", blob: ProgBlob},
+	{kind: "diagnostics", blob: DiagBlob},
+}
+
+// hitMetrics maps each registered kind to its counter series name; kinds
+// may contain hyphens ("bytecode-warp") but metric names stay snake_case.
+var hitMetrics = func() map[string]string {
+	m := make(map[string]string, len(artifactSpecs))
+	for _, s := range artifactSpecs {
+		m[s.kind] = "progcache_hits_" + strings.ReplaceAll(s.kind, "-", "_")
+	}
+	return m
+}()
+
 // ArtifactKinds enumerates every per-kind hit counter the cache can
 // emit, so dashboards and metric registration see the full set up front
 // instead of series appearing lazily on first hit.
-func ArtifactKinds() []string { return []string{"ast", "bytecode", "bytecode-warp", "diagnostics"} }
-
-// hitMetric maps an artifact kind to its hit-counter series name; kinds
-// may contain hyphens ("bytecode-warp") but metric names stay snake_case.
-func hitMetric(kind string) string {
-	return "progcache_hits_" + strings.ReplaceAll(kind, "-", "_")
+func ArtifactKinds() []string {
+	kinds := make([]string, len(artifactSpecs))
+	for i, s := range artifactSpecs {
+		kinds[i] = s.kind
+	}
+	return kinds
 }
+
+// hitMetric maps an artifact kind to its hit-counter series name.
+func hitMetric(kind string) string { return hitMetrics[kind] }
 
 type entry struct {
 	key     string
@@ -112,6 +156,7 @@ type Cache struct {
 	inflight map[string]*flight
 	compile  CompileFunc
 	reg      *metrics.Registry
+	store    *castore.Store // optional durable tier; nil = memory only
 	stats    Stats
 }
 
@@ -149,6 +194,24 @@ func (c *Cache) SetCompileFunc(fn CompileFunc) {
 		fn = minicuda.Compile
 	}
 	c.compile = fn
+}
+
+// SetStore attaches a durable content-addressed store as the tier below
+// the in-memory LRU: misses consult it before compiling (read-through)
+// and successful compiles persist into it (write-through). A nil store
+// detaches. Safe to call concurrently, though the usual shape is
+// attach-once at boot.
+func (c *Cache) SetStore(s *castore.Store) {
+	c.mu.Lock()
+	c.store = s
+	c.mu.Unlock()
+}
+
+// Store returns the attached durable store, or nil.
+func (c *Cache) Store() *castore.Store {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.store
 }
 
 // Key returns the content address of a (source, dialect) pair: the hex
@@ -208,12 +271,46 @@ func (c *Cache) CompileStatus(src string, dialect minicuda.Dialect) (*minicuda.P
 	c.inflight[key] = f
 	c.stats.Misses++
 	c.inc("progcache_misses")
+	store := c.store
 	c.mu.Unlock()
 
-	prog, err := c.compile(src, dialect)
+	// Read-through: a memory miss consults the durable store before
+	// compiling. A decode failure (codec version skew, say) discards the
+	// stale entry and falls through to a fresh compile; the store itself
+	// quarantines hash-mismatched files and reports them as misses, so a
+	// corrupt artifact can only ever cost a recompile.
+	var prog *minicuda.Program
+	var err error
+	fromDisk := false
+	if store != nil {
+		if data, ok := store.Get(key, ProgBlob); ok {
+			if p, derr := minicuda.DecodeProgram(data); derr == nil {
+				prog, fromDisk = p, true
+			} else {
+				store.Discard(key, ProgBlob)
+			}
+		}
+	}
+	if !fromDisk {
+		prog, err = c.compile(src, dialect)
+		// Write-through, best effort: only successful compiles persist
+		// (errors are deterministic and cheap to rediscover, and a
+		// poisoned error entry on shared disk would outlive the process
+		// that wrote it).
+		if err == nil && prog != nil && store != nil {
+			if data, eerr := minicuda.EncodeProgram(prog); eerr == nil {
+				_ = store.Put(key, ProgBlob, data)
+			}
+		}
+	}
 
 	c.mu.Lock()
-	c.stats.Compiles++
+	if fromDisk {
+		c.stats.DiskHits++
+		c.inc("progcache_disk_hits")
+	} else {
+		c.stats.Compiles++
+	}
 	delete(c.inflight, key)
 	e := &entry{key: key, prog: prog, err: err}
 	if prog != nil {
@@ -277,20 +374,101 @@ func (c *Cache) Diagnostics(src string, dialect minicuda.Dialect) ([]kernelcheck
 		return nil, e.err
 	}
 
-	first := false
+	c.mu.Lock()
+	store := c.store
+	c.mu.Unlock()
+	analyzed, fromDisk := false, false
 	e.diagsOnce.Do(func() {
-		first = true
+		// Read-through: diagnostics persist as JSON beside the program
+		// artifact. An unparseable entry is discarded and re-analyzed.
+		if store != nil {
+			if data, ok := store.Get(key, DiagBlob); ok {
+				var diags []kernelcheck.Diagnostic
+				if json.Unmarshal(data, &diags) == nil {
+					e.diags = diags
+					fromDisk = true
+					return
+				}
+				store.Discard(key, DiagBlob)
+			}
+		}
+		analyzed = true
 		e.diags = kernelcheck.Analyze(e.prog)
+		if store != nil {
+			if data, merr := json.Marshal(e.diags); merr == nil {
+				_ = store.Put(key, DiagBlob, data)
+			}
+		}
 	})
 	c.mu.Lock()
-	if first {
+	switch {
+	case fromDisk:
+		c.stats.DiskDiagHits++
+		c.inc("progcache_disk_diag_hits")
+	case analyzed:
 		c.stats.Analyzes++
-	} else {
+	default:
 		c.stats.HitsDiagnostics++
 		c.inc("progcache_hits_diagnostics")
 	}
 	c.mu.Unlock()
 	return e.diags, nil
+}
+
+// WarmStart eagerly decodes up to n of the store's hottest program
+// artifacts into the cache and returns how many loaded. Preloaded entries
+// enter at the cold end of the LRU so live traffic always outranks them.
+// Callers without a feel for n can pass DefaultCapacity; with no store
+// attached WarmStart is a no-op. The remaining (or all) entries still
+// warm lazily through the read-through miss path.
+func (c *Cache) WarmStart(n int) int {
+	c.mu.Lock()
+	store := c.store
+	c.mu.Unlock()
+	if store == nil || n <= 0 {
+		return 0
+	}
+	loaded := 0
+	for _, key := range store.HottestKeys(n) {
+		c.mu.Lock()
+		_, exists := c.entries[key]
+		c.mu.Unlock()
+		if exists {
+			continue
+		}
+		data, ok := store.Get(key, ProgBlob)
+		if !ok {
+			continue
+		}
+		prog, err := minicuda.DecodeProgram(data)
+		if err != nil {
+			store.Discard(key, ProgBlob)
+			continue
+		}
+		c.mu.Lock()
+		if c.capacity > 0 && c.lru.Len() >= c.capacity {
+			// Preloading must never evict live entries; a full cache
+			// means the remaining hot set warms lazily instead.
+			c.mu.Unlock()
+			break
+		}
+		if _, exists := c.entries[key]; !exists {
+			e := &entry{key: key, prog: prog, bcBytes: int64(prog.BytecodeBytes())}
+			e.elem = c.lru.PushBack(e)
+			c.entries[key] = e
+			c.stats.BytecodeBytes += e.bcBytes
+			c.stats.Preloaded++
+			c.inc("progcache_preloaded")
+			loaded++
+			c.stats.Size = len(c.entries)
+			if c.reg != nil {
+				c.reg.Set("progcache_size", float64(len(c.entries)))
+				c.reg.Set("progcache_bytecode_bytes", float64(c.stats.BytecodeBytes))
+			}
+		}
+		c.mu.Unlock()
+	}
+	return loaded
 }
 
 // Stats snapshots the counters.

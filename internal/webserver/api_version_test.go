@@ -206,17 +206,18 @@ func TestHealthzComponents(t *testing.T) {
 	if rep.Status != "ok" {
 		t.Fatalf("healthz status = %q, want ok", rep.Status)
 	}
-	for _, comp := range []string{"db", "dispatcher", "broker", "progcache", "devsessions"} {
+	for _, comp := range []string{"db", "dispatcher", "broker", "progcache", "castore", "devsessions"} {
 		c, ok := rep.Components[comp]
 		if !ok {
 			t.Errorf("healthz missing component %q", comp)
 			continue
 		}
-		if comp == "broker" {
-			// The test fixture is a v1 deployment: no broker, and its
-			// absence must not degrade the deployment.
+		if comp == "broker" || comp == "castore" {
+			// The test fixture is a v1 deployment with a memory-only
+			// cache: no broker and no artifact store, and neither
+			// absence may degrade the deployment.
 			if c.Status != "absent" {
-				t.Errorf("broker status = %q, want absent", c.Status)
+				t.Errorf("%s status = %q, want absent", comp, c.Status)
 			}
 			continue
 		}

@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"webgpu/internal/castore"
 	"webgpu/internal/db"
 	"webgpu/internal/devsession"
 	"webgpu/internal/grader"
@@ -86,6 +87,10 @@ type Config struct {
 	// a private cache.
 	ProgCache *progcache.Cache
 
+	// Artifacts is the durable artifact store under ProgCache, reported
+	// as a /healthz component; nil reports it absent (memory-only cache).
+	Artifacts *castore.Store
+
 	// DevSessions overrides the live-session manager (tests tune its
 	// debounce/limits); nil builds one from ProgCache/Metrics/Traces/Clock
 	// (with overload pressure wired so drafts shed before submissions).
@@ -118,6 +123,7 @@ type Server struct {
 	traces       *trace.Store
 	queue        QueueAdmin
 	progs        *progcache.Cache
+	artifacts    *castore.Store
 	devsessions  *devsession.Manager
 	overload     *overload.Controller
 	sseHeartbeat time.Duration
@@ -184,6 +190,7 @@ func New(cfg Config) *Server {
 		traces:       cfg.Traces,
 		queue:        cfg.Queue,
 		progs:        cfg.ProgCache,
+		artifacts:    cfg.Artifacts,
 		devsessions:  cfg.DevSessions,
 		overload:     cfg.Overload,
 		sseHeartbeat: cfg.SSEHeartbeat,
@@ -381,6 +388,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := s.progs.Stats()
 	mark("progcache", ComponentHealth{Status: "ok",
 		Detail: fmt.Sprintf("%d entries, %d hits, %d misses", st.Size, st.Hits, st.Misses)})
+
+	// Durable artifact tier: absent is normal for memory-only
+	// deployments; degraded means quarantined corruption or a full disk —
+	// both survivable (entries recompile) but worth an operator's look.
+	castatus, cadetail := s.artifacts.Health()
+	mark("castore", ComponentHealth{Status: castatus, Detail: cadetail})
 
 	mark("devsessions", ComponentHealth{Status: "ok",
 		Detail: fmt.Sprintf("%d active", s.devsessions.Active())})

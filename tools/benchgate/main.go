@@ -46,6 +46,10 @@ type macroCeiling struct {
 	MaxSubmitShed  int     `json:"max_submit_shed"`
 	MaxLostJobs    int64   `json:"max_lost_jobs"`
 	MaxDeadLetters int     `json:"max_dead_letters"`
+	// MaxRecompiles gates the restart-storm scenario's durable-store
+	// contract: a rebooted deployment recompiling cached sources is the
+	// recompile storm the store exists to kill, so the ceiling is zero.
+	MaxRecompiles int64 `json:"max_recompiles"`
 }
 
 type baseline struct {
@@ -69,6 +73,7 @@ type macroResult struct {
 	SubmitShed  int     `json:"submit_shed"`
 	LostJobs    int64   `json:"lost_jobs"`
 	DeadLetters int     `json:"dead_letters"`
+	Recompiles  int64   `json:"recompiles"`
 	P50Ms       float64 `json:"p50_ms"`
 	P99Ms       float64 `json:"p99_ms"`
 }
@@ -186,6 +191,9 @@ func gateMacro(base baseline, mf macroFile, w io.Writer) (failed bool) {
 		}
 		if r.DeadLetters > c.MaxDeadLetters {
 			trip("dead_letters %d exceeds max %d (redrive left work parked)", r.DeadLetters, c.MaxDeadLetters)
+		}
+		if r.Recompiles > c.MaxRecompiles {
+			trip("recompiles %d exceeds max %d (restart recompiled cached sources)", r.Recompiles, c.MaxRecompiles)
 		}
 		if len(trips) > 0 {
 			failed = true

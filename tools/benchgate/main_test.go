@@ -161,6 +161,28 @@ func TestMacroGateLostJobsAndShedAreHardZero(t *testing.T) {
 	}
 }
 
+func TestMacroGateRecompilesAreHardZero(t *testing.T) {
+	// The restart-storm contract: latency may be fine, but a rebooted
+	// platform recompiling cached sources trips the gate.
+	storm := `{
+  "schema": "webgpu-macro/v1",
+  "scenarios": [
+    {"name": "restart-storm", "submit_ok": 8, "recompiles": 8,
+     "p50_ms": 10, "p99_ms": 20}
+  ]
+}`
+	base := baseline{Macro: map[string]macroCeiling{
+		"restart-storm": {P50Ms: 2000, P99Ms: 5000, MaxRecompiles: 0},
+	}}
+	var sb strings.Builder
+	if !gateMacro(base, mustParseMacro(t, storm), &sb) {
+		t.Fatal("macro gate did not trip on post-restart recompiles")
+	}
+	if !strings.Contains(sb.String(), "recompiles") {
+		t.Errorf("output missing recompiles trip:\n%s", sb.String())
+	}
+}
+
 func TestParseMacroRejectsMalformed(t *testing.T) {
 	cases := map[string]string{
 		"truncated JSON": `{"schema": "webgpu-macro/v1", "scenarios": [`,
