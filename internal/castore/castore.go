@@ -190,7 +190,9 @@ func (s *Store) replayManifest() {
 func entryName(key, blob string) string { return key + "." + blob }
 
 // validName rejects anything that could escape the fanout layout; keys
-// are progcache content hashes (lowercase hex), blobs short ASCII words.
+// are progcache content hashes (lowercase hex), blobs short ASCII words
+// (lowercase letters, digits, hyphens — version-suffixed names like
+// "diag-kc2" are valid).
 func validName(key, blob string) bool {
 	if len(key) < 2 || len(key) > 128 || blob == "" || len(blob) > 32 {
 		return false
@@ -201,7 +203,7 @@ func validName(key, blob string) bool {
 		}
 	}
 	for _, c := range blob {
-		if (c < 'a' || c > 'z') && c != '-' {
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') && c != '-' {
 			return false
 		}
 	}

@@ -184,6 +184,8 @@ func NewManager(cfg Config) *Manager {
 		"devsession_drafts", "devsession_draft_coalesced",
 		"devsession_draft_cancelled", "devsession_rate_limited",
 		"devsession_draft_shed",
+		"kernelcheck_incremental_runs", "kernelcheck_incremental_analyzed",
+		"kernelcheck_incremental_reused",
 	} {
 		m.cfg.Metrics.Inc(name, 0)
 	}

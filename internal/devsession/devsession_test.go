@@ -516,3 +516,77 @@ func TestDevSessionSoak(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestIncrementalWorkSplit drives one session through an edit cycle and
+// checks the diagnostics events report the incremental engine's work
+// split: cold draft analyzes everything, a one-function edit re-analyzes
+// only that function, and a revert to an already-analyzed source is
+// served whole from the shared cache.
+func TestIncrementalWorkSplit(t *testing.T) {
+	const srcA = `__global__ void kA(float *in, float *out, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    out[i] = in[i] * 2.0f;
+  }
+}
+
+__global__ void kB(float *in, float *out, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    out[i] = in[i] + 1.0f;
+  }
+}
+`
+	srcB := strings.Replace(srcA, "in[i] + 1.0f", "in[i] + 3.0f", 1)
+
+	reg := metrics.NewRegistry()
+	m := NewManager(Config{Debounce: -1, DraftInterval: -1, Metrics: reg})
+	defer m.CloseAll()
+	if got := reg.Counter("kernelcheck_incremental_runs"); got != 0 {
+		t.Fatalf("kernelcheck_incremental_runs pre-registered at %v, want 0", got)
+	}
+	s, err := m.Open("u1", "lab", minicuda.DialectCUDA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ch, unsub, err := s.Subscribe(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer unsub()
+
+	push := func(src string) DiagnosticsPayload {
+		t.Helper()
+		seq, _, err := s.PushDraft(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev := waitFor(t, ch, "diagnostics event", func(e Event) bool {
+			dp, ok := e.Data.(DiagnosticsPayload)
+			return ok && dp.Draft == seq
+		})
+		return ev.Data.(DiagnosticsPayload)
+	}
+
+	if dp := push(srcA); dp.Analyzed != 2 || dp.Reused != 0 {
+		t.Fatalf("cold draft: analyzed=%d reused=%d, want 2/0", dp.Analyzed, dp.Reused)
+	}
+	if dp := push(srcB); dp.Analyzed != 1 || dp.Reused != 1 {
+		t.Fatalf("one-function edit: analyzed=%d reused=%d, want 1/1", dp.Analyzed, dp.Reused)
+	}
+	// Revert: srcA's entry already carries diagnostics in the shared
+	// cache, so the draft is served without touching the engine.
+	if dp := push(srcA); dp.Analyzed != 0 || dp.Reused != 2 {
+		t.Fatalf("revert: analyzed=%d reused=%d, want 0/2", dp.Analyzed, dp.Reused)
+	}
+
+	if got := reg.Counter("kernelcheck_incremental_runs"); got != 3 {
+		t.Errorf("kernelcheck_incremental_runs = %v, want 3", got)
+	}
+	if got := reg.Counter("kernelcheck_incremental_analyzed"); got != 3 {
+		t.Errorf("kernelcheck_incremental_analyzed = %v, want 3", got)
+	}
+	if got := reg.Counter("kernelcheck_incremental_reused"); got != 3 {
+		t.Errorf("kernelcheck_incremental_reused = %v, want 3", got)
+	}
+}

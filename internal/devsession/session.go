@@ -37,10 +37,16 @@ type CompilePayload struct {
 }
 
 // DiagnosticsPayload is the data of a "diagnostics" event. Diagnostics is
-// never null so clients can always range over it.
+// never null so clients can always range over it. Analyzed and Reused
+// report the incremental engine's work split for this draft: how many
+// functions were re-analyzed versus spliced from the per-session cache
+// (a draft served whole from the shared program cache reports every
+// function as reused).
 type DiagnosticsPayload struct {
 	Draft       int64                    `json:"draft"`
 	Diagnostics []kernelcheck.Diagnostic `json:"diagnostics"`
+	Analyzed    int                      `json:"analyzed"`
+	Reused      int                      `json:"reused"`
 	ElapsedMS   float64                  `json:"elapsed_ms"`
 }
 
@@ -69,6 +75,7 @@ type Session struct {
 	ctx    context.Context // closed-session root; inflight ctxs derive from it
 	cancel context.CancelFunc
 	notify chan struct{} // draft-arrival signal, capacity 1
+	inc    *kernelcheck.Incremental
 
 	mu             sync.Mutex
 	closed         bool
@@ -91,6 +98,7 @@ func newSession(m *Manager, id, userID, labID string, dialect minicuda.Dialect, 
 		Dialect:    dialect,
 		m:          m,
 		notify:     make(chan struct{}, 1),
+		inc:        kernelcheck.NewIncremental(),
 		subs:       map[int]chan Event{},
 		lastActive: now,
 		bucket:     newBucket(m.cfg.DraftBurst, m.cfg.DraftInterval, now),
@@ -332,27 +340,46 @@ func (s *Session) loop() {
 
 // pipelineOut is what one draft's compile+analysis produces.
 type pipelineOut struct {
-	status progcache.Status
-	err    error
-	diags  []kernelcheck.Diagnostic
+	status   progcache.Status
+	err      error
+	diags    []kernelcheck.Diagnostic
+	analyzed int
+	reused   int
 }
 
 // runDraft runs one draft through the program cache: compile (content
-// addressed, singleflighted) then kernelcheck (cached per entry). The
-// cache calls are not context-aware, so they run in a goroutine and the
-// draft abandons the wait on cancellation — the compile keeps going and
-// still warms the cache for the next draft or an eventual submission.
+// addressed, singleflighted) then kernelcheck through the session's
+// incremental engine — only functions the student actually changed
+// since the previous draft are re-analyzed, the rest splice from the
+// per-session cache. A source the shared cache has already analyzed
+// (a revert, or another student's identical draft) skips even that and
+// reports every function reused; a fresh incremental result seeds the
+// shared cache so a later submission of the same source is a pure hit
+// (sound because the incremental output is byte-identical to a full
+// run). The cache calls are not context-aware, so they run in a
+// goroutine and the draft abandons the wait on cancellation — the
+// compile keeps going and still warms the cache for the next draft or
+// an eventual submission.
 func (s *Session) runDraft(ctx context.Context, d *draft) {
-	start := time.Now()
+	start := s.m.now()
 	tr := s.m.cfg.Traces.NewTrace()
 	sp := tr.StartSpan("draft",
 		"session", s.ID, "lab", s.LabID, "draft", strconv.FormatInt(d.seq, 10))
 	done := make(chan pipelineOut, 1)
 	go func() {
 		var out pipelineOut
-		_, out.status, out.err = s.m.cfg.Cache.CompileStatus(d.source, s.Dialect)
+		var prog *minicuda.Program
+		prog, out.status, out.err = s.m.cfg.Cache.CompileStatus(d.source, s.Dialect)
 		if out.err == nil {
-			out.diags, _ = s.m.cfg.Cache.Diagnostics(d.source, s.Dialect)
+			if diags, ok := s.m.cfg.Cache.CachedDiagnostics(d.source, s.Dialect); ok {
+				out.diags = diags
+				out.reused = len(prog.Funcs)
+			} else {
+				res := s.inc.Analyze(prog)
+				out.diags = res.Diagnostics
+				out.analyzed, out.reused = res.Analyzed, res.Reused
+				s.m.cfg.Cache.PutDiagnostics(d.source, s.Dialect, res.Diagnostics)
+			}
 		}
 		done <- out
 	}()
@@ -365,7 +392,7 @@ func (s *Session) runDraft(ctx context.Context, d *draft) {
 		s.emit(EventStatus, StatusPayload{State: "cancelled", Draft: d.seq})
 		return
 	case out := <-done:
-		elapsed := time.Since(start)
+		elapsed := s.m.now().Sub(start)
 		ms := float64(elapsed) / float64(time.Millisecond)
 		compile := CompilePayload{Draft: d.seq, Cache: out.status.String(), OK: out.err == nil, ElapsedMS: ms}
 		if out.err != nil {
@@ -380,8 +407,13 @@ func (s *Session) runDraft(ctx context.Context, d *draft) {
 			s.emit(EventDiagnostics, DiagnosticsPayload{
 				Draft:       d.seq,
 				Diagnostics: diags,
-				ElapsedMS:   float64(time.Since(start)) / float64(time.Millisecond),
+				Analyzed:    out.analyzed,
+				Reused:      out.reused,
+				ElapsedMS:   float64(s.m.now().Sub(start)) / float64(time.Millisecond),
 			})
+			s.m.cfg.Metrics.Inc("kernelcheck_incremental_runs", 1)
+			s.m.cfg.Metrics.Inc("kernelcheck_incremental_analyzed", float64(out.analyzed))
+			s.m.cfg.Metrics.Inc("kernelcheck_incremental_reused", float64(out.reused))
 		}
 		s.m.cfg.Metrics.ObserveDuration("devsession_draft_ms", elapsed)
 		if out.status == progcache.Hit {

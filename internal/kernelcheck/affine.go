@@ -1,3 +1,4 @@
+//kernelcheck:hotpath
 package kernelcheck
 
 import (

@@ -72,11 +72,19 @@ type Rule struct {
 	Summary  string
 }
 
+// RulesetVersion names the analyzer's rule + summary semantics. It is
+// mixed into every incremental cache key and into the progcache
+// diagnostics artifact name, so any change to rules, message text, or
+// summary precision must bump it to invalidate cached results.
+const RulesetVersion = "kc2"
+
 // Rule IDs.
 const (
 	RuleBarrierDivergence = "KC-BARRIER-DIV"
 	RuleBarrierExit       = "KC-BARRIER-EXIT"
+	RuleBarrierCallDiv    = "KC-BARRIER-CALL-DIV"
 	RuleRace              = "KC-RACE"
+	RuleRaceCall          = "KC-RACE-CALL"
 	RuleRaceMaybe         = "KC-RACE-MAYBE"
 	RuleOOB               = "KC-OOB"
 	RuleOOBMaybe          = "KC-OOB-MAYBE"
@@ -91,7 +99,9 @@ const (
 var rules = []Rule{
 	{RuleBarrierDivergence, SevWarn, "__syncthreads under thread-dependent control flow"},
 	{RuleBarrierExit, SevWarn, "__syncthreads reachable after a thread-dependent early return"},
+	{RuleBarrierCallDiv, SevWarn, "device-function call reaches __syncthreads under thread-dependent control flow"},
 	{RuleRace, SevError, "provable shared-memory race within one barrier interval"},
+	{RuleRaceCall, SevError, "provable shared-memory race through a device-function call"},
 	{RuleRaceMaybe, SevWarn, "possible shared-memory race within one barrier interval"},
 	{RuleOOB, SevError, "provable out-of-bounds access (traps on the device)"},
 	{RuleOOBMaybe, SevWarn, "possible or logical out-of-bounds access"},
@@ -143,15 +153,92 @@ func ErrorCount(diags []Diagnostic) int {
 // Analyze runs every pass over each kernel of a compiled program and
 // returns the findings sorted by source position. It never fails: a
 // panic inside a pass (an analyzer bug, not a student bug) degrades to a
-// KC-INTERNAL info diagnostic so the job pipeline keeps running.
+// KC-INTERNAL info diagnostic so the job pipeline keeps running. Calls
+// into device functions are analyzed interprocedurally through effect
+// summaries (see summary.go).
 func Analyze(prog *minicuda.Program) []Diagnostic {
+	return analyzeProgram(prog, nil).Diagnostics
+}
+
+// AnalyzeIntra runs the passes with calls treated opaquely (the
+// pre-summary behavior): a call only closes a barrier interval and
+// taints its result. Kept for the CLI's -interprocedural=false mode and
+// for triaging whether a finding depends on summary substitution.
+func AnalyzeIntra(prog *minicuda.Program) []Diagnostic {
 	var diags []Diagnostic
-	sums := summarize(prog)
+	sums := summarizeFlags(prog)
 	for _, fn := range prog.Funcs {
-		diags = append(diags, analyzeFunc(prog, fn, sums)...)
+		diags = append(diags, analyzeFunc(prog, fn, sums, false)...)
 	}
 	sortDiags(diags)
 	return diags
+}
+
+// analyzeProgram is the shared full/incremental pipeline. With a nil
+// engine every function is analyzed from scratch; with an engine,
+// functions whose cache key matches reuse both their summary and their
+// diagnostics. Both paths run the exact same per-function passes in the
+// same order, which is what makes incremental output byte-identical to
+// a full run.
+func analyzeProgram(prog *minicuda.Program, inc *Incremental) Result {
+	res := Result{Total: len(prog.Funcs)}
+	sums := summarizeFlags(prog)
+	calls := calleeMap(prog)
+
+	var keys map[*minicuda.Function]string
+	var cacheable map[*minicuda.Function]bool
+	if inc != nil {
+		keys, cacheable = computeKeys(prog, calls)
+	}
+	hit := func(fn *minicuda.Function) *cachedFn {
+		if inc == nil || !cacheable[fn] {
+			return nil
+		}
+		if e := inc.funcs[fn.Name]; e != nil && e.key == keys[fn] {
+			return e
+		}
+		return nil
+	}
+
+	// Summaries, callee-before-caller: cache hits adopt the cached
+	// summary verbatim (its token positions are valid — the structural
+	// hash covers positions), misses recompute.
+	for _, fn := range topoOrder(prog, calls) {
+		if e := hit(fn); e != nil {
+			*sums[fn] = *e.sum
+			continue
+		}
+		if !fn.IsKernel {
+			buildEffects(prog, fn, sums)
+		}
+	}
+
+	// Per-function diagnostics in declaration order, spliced from the
+	// cache where possible.
+	var diags []Diagnostic
+	for _, fn := range prog.Funcs {
+		if e := hit(fn); e != nil {
+			diags = append(diags, e.diags...)
+			e.gen = inc.gen
+			res.Reused++
+			continue
+		}
+		d := analyzeFunc(prog, fn, sums, true)
+		diags = append(diags, d...)
+		res.Analyzed++
+		if inc != nil && cacheable[fn] {
+			sum := *sums[fn]
+			inc.funcs[fn.Name] = &cachedFn{
+				key:   keys[fn],
+				sum:   &sum,
+				diags: append([]Diagnostic(nil), d...),
+				gen:   inc.gen,
+			}
+		}
+	}
+	sortDiags(diags)
+	res.Diagnostics = diags
+	return res
 }
 
 // AnalyzeSource compiles source in the given dialect and analyzes it.
@@ -165,7 +252,7 @@ func AnalyzeSource(src string, dialect minicuda.Dialect) ([]Diagnostic, error) {
 	return Analyze(prog), nil
 }
 
-func analyzeFunc(prog *minicuda.Program, fn *minicuda.Function, sums map[*minicuda.Function]*fnSummary) (diags []Diagnostic) {
+func analyzeFunc(prog *minicuda.Program, fn *minicuda.Function, sums map[*minicuda.Function]*fnSummary, interp bool) (diags []Diagnostic) {
 	defer func() {
 		if r := recover(); r != nil {
 			diags = append(diags, Diagnostic{
@@ -179,6 +266,7 @@ func analyzeFunc(prog *minicuda.Program, fn *minicuda.Function, sums map[*minicu
 	}()
 	if fn.IsKernel {
 		a := newAnalyzer(prog, fn, sums)
+		a.interp = interp
 		a.run()
 		diags = append(diags, a.diags...)
 	}

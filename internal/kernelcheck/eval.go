@@ -388,13 +388,20 @@ func (a *analyzer) evalCall(x *minicuda.Call) ev {
 		return ev{lo: affConst(0)}
 	}
 	tainted := false
-	for _, arg := range x.Args {
-		tainted = a.eval(arg).tainted || tainted
+	argEvs := make([]ev, len(x.Args))
+	for i, arg := range x.Args {
+		argEvs[i] = a.eval(arg)
+		tainted = argEvs[i].tainted || tainted
 	}
 	if x.Fn != nil {
 		if s := a.sums[x.Fn]; s != nil {
+			if a.interp && s.precise {
+				return a.applyCall(x, s, argEvs)
+			}
+			// Opaque fallback: cycle members (or intraprocedural mode)
+			// keep the flags-only treatment.
 			if s.usesBarrier {
-				a.barrierAt(x.Tok())
+				a.callBarrier(x.Tok(), x.Name, barrierInfo{})
 			}
 			tainted = tainted || s.usesTIdx
 		}
@@ -414,6 +421,12 @@ func (a *analyzer) evalCall(x *minicuda.Call) ev {
 // divergence hazards.
 func (a *analyzer) barrierAt(tok minicuda.Token) {
 	if a.record {
+		if a.trackSummary {
+			a.barrierLog = append(a.barrierLog, barrierInfo{
+				div:  a.divDepth > 0,
+				exit: a.exitWarn && a.divDepth == 0,
+			})
+		}
 		if a.divDepth > 0 && !a.barrierDivSeen[site(tok, "")] {
 			a.barrierDivSeen[site(tok, "")] = true
 			a.diag(RuleBarrierDivergence, SevWarn, tok,
@@ -528,23 +541,38 @@ func (a *analyzer) recordPtrAccess(vr *minicuda.VarRef, iv ev, write, atomic boo
 			pos: tok, expr: vr.Name + "[" + iv.aff.String() + "]",
 		})
 	}
+	a.checkPtrLower(vr.Name, iv, tok, a.anyDepth == 0, "")
+}
+
+// checkPtrLower reports a negative index through a pointer; via names
+// the device function the access was replayed from ("" = direct).
+func (a *analyzer) checkPtrLower(name string, iv ev, tok minicuda.Token, unconditional bool, via string) {
 	if iv.lo != nil && iv.lo.isConst() && iv.lo.c < 0 {
-		key := site(tok, vr.Name)
+		key := site(tok, name)
 		if a.oobSeen[key] {
 			return
 		}
 		a.oobSeen[key] = true
-		if iv.loTight && a.anyDepth == 0 {
+		if iv.loTight && unconditional {
 			a.diag(RuleOOB, SevError, tok,
-				fmt.Sprintf("%s[%s] reaches a negative index (minimum %d); the device traps on the first thread that executes it",
-					vr.Name, iv.aff, iv.lo.c),
+				fmt.Sprintf("%s[%s]%s reaches a negative index (minimum %d); the device traps on the first thread that executes it",
+					name, iv.aff, viaSuffix(via), iv.lo.c),
 				"guard the access so the index stays in range")
 		} else {
 			a.diag(RuleOOBMaybe, SevWarn, tok,
-				fmt.Sprintf("%s[%s] may reach a negative index (minimum %d)", vr.Name, iv.aff, iv.lo.c),
+				fmt.Sprintf("%s[%s]%s may reach a negative index (minimum %d)", name, iv.aff, viaSuffix(via), iv.lo.c),
 				"guard the access so the index stays in range")
 		}
 	}
+}
+
+// viaSuffix renders the call-chain marker for diagnostics on replayed
+// accesses.
+func viaSuffix(via string) string {
+	if via == "" {
+		return ""
+	}
+	return " (via " + via + ")"
 }
 
 // recordArrayAccess records an access to a declared array (shared,
@@ -566,10 +594,10 @@ func (a *analyzer) recordArrayAccess(vr *minicuda.VarRef, dims []int, dimEvs []e
 	for _, d := range dims {
 		total *= int64(d)
 	}
-	a.checkArrayBounds(vr, dims, dimEvs, flat, total, scalar, space, tok)
+	a.checkArrayBounds(vr, dims, dimEvs, flat, total, scalar, space, tok, a.anyDepth == 0, "")
 }
 
-func (a *analyzer) checkArrayBounds(vr *minicuda.VarRef, dims []int, dimEvs []ev, flat ev, total int64, scalar *minicuda.Type, space minicuda.MemSpace, tok minicuda.Token) {
+func (a *analyzer) checkArrayBounds(vr *minicuda.VarRef, dims []int, dimEvs []ev, flat ev, total int64, scalar *minicuda.Type, space minicuda.MemSpace, tok minicuda.Token, unconditional bool, via string) {
 	if !a.record {
 		return
 	}
@@ -581,12 +609,11 @@ func (a *analyzer) checkArrayBounds(vr *minicuda.VarRef, dims []int, dimEvs []ev
 		a.oobSeen[key] = true
 		a.diag(id, sev, tok, msg, hint)
 	}
-	unconditional := a.anyDepth == 0
 
 	// Flattened element range against the whole variable.
 	loConst := flat.lo != nil && flat.lo.isConst()
 	hiConst := flat.hi != nil && flat.hi.isConst()
-	arrayDesc := fmt.Sprintf("%s %s (%d elements)", space, vr.Name, total)
+	arrayDesc := fmt.Sprintf("%s %s (%d elements)%s", space, vr.Name, total, viaSuffix(via))
 
 	if loConst && flat.lo.c < 0 {
 		// For shared variables the device traps on negative *arena*

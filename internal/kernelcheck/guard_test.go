@@ -121,6 +121,7 @@ func TestDifferentialGuard(t *testing.T) {
 			t.Fatalf("%s: missing golden: %v", name, err)
 		}
 		provable := strings.Contains(string(golden), "error[KC-RACE]") ||
+			strings.Contains(string(golden), "error[KC-RACE-CALL]") ||
 			strings.Contains(string(golden), "error[KC-OOB]")
 		if provable && spec == nil {
 			if _, ok := guardExempt[name]; !ok {

@@ -1,0 +1,217 @@
+package kernelcheck
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"webgpu/internal/minicuda"
+)
+
+func renderDiags(diags []Diagnostic) string {
+	var sb strings.Builder
+	for _, d := range diags {
+		sb.WriteString(d.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// incUnitSrc has a helper called by the first kernel only, so edits to
+// the helper must invalidate exactly {scale, kA} and edits to kB must
+// invalidate exactly {kB}.
+const incUnitSrc = `__device__ float scale(float *p, int i) {
+  return p[i] * 2.0f;
+}
+
+__global__ void kA(float *in, float *out, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    out[i] = scale(in, i);
+  }
+}
+
+__global__ void kB(float *in, float *out, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    out[i] = in[i] + 1.0f;
+  }
+}
+`
+
+func compileT(t testing.TB, src string) *minicuda.Program {
+	t.Helper()
+	prog, err := minicuda.Compile(src, minicuda.DialectCUDA)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return prog
+}
+
+// checkRun asserts one incremental run against a from-scratch Analyze
+// of the same program and against the expected work split.
+func checkRun(t *testing.T, inc *Incremental, prog *minicuda.Program, wantAnalyzed, wantReused int) {
+	t.Helper()
+	res := inc.Analyze(prog)
+	if got, want := renderDiags(res.Diagnostics), renderDiags(Analyze(prog)); got != want {
+		t.Fatalf("incremental diagnostics diverge from full run:\nincremental:\n%s\nfull:\n%s", got, want)
+	}
+	if res.Analyzed != wantAnalyzed || res.Reused != wantReused {
+		t.Fatalf("work split: analyzed=%d reused=%d, want analyzed=%d reused=%d",
+			res.Analyzed, res.Reused, wantAnalyzed, wantReused)
+	}
+}
+
+func TestIncrementalInvalidation(t *testing.T) {
+	inc := NewIncremental()
+
+	// Cold start: everything analyzed.
+	checkRun(t, inc, compileT(t, incUnitSrc), 3, 0)
+
+	// Same source recompiled: everything reused.
+	checkRun(t, inc, compileT(t, incUnitSrc), 0, 3)
+
+	// Edit kB's body (same line count, so no position shifts elsewhere):
+	// only kB recomputes.
+	editB := strings.Replace(incUnitSrc, "in[i] + 1.0f", "in[i] + 2.0f", 1)
+	checkRun(t, inc, compileT(t, editB), 1, 2)
+
+	// Edit the helper: the helper and its caller kA recompute; kB (which
+	// never calls it) is reused.
+	editH := strings.Replace(editB, "p[i] * 2.0f", "p[i] * 4.0f", 1)
+	checkRun(t, inc, compileT(t, editH), 2, 1)
+
+	// Back to the previous draft one run later: the two-generation
+	// retention kept kB's entry warm, but scale/kA were overwritten by
+	// the edited versions (the cache is keyed by function name), so they
+	// recompute.
+	checkRun(t, inc, compileT(t, editB), 2, 1)
+}
+
+// TestIncrementalMatchesFullOnCorpusMutations is the byte-identity
+// fuzz: walk every corpus kernel through a chain of random single-digit
+// mutations, re-analyzing each compilable step with a persistent
+// incremental engine, and require the rendered diagnostics to equal a
+// from-scratch run exactly. Deterministically seeded so failures
+// reproduce.
+func TestIncrementalMatchesFullOnCorpusMutations(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.cu"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no corpus kernels")
+	}
+	rng := rand.New(rand.NewSource(0x5eed))
+	totalReused, partialRuns, steps := 0, 0, 0
+	for _, f := range files {
+		srcB, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dialect := minicuda.DialectCUDA
+		if strings.Contains(string(srcB), "__kernel") {
+			dialect = minicuda.DialectOpenCL
+		}
+		check := func(src []byte, inc *Incremental) bool {
+			prog, err := minicuda.Compile(string(src), dialect)
+			if err != nil {
+				return false // mutation broke the program; skip the step
+			}
+			res := inc.Analyze(prog)
+			got, want := renderDiags(res.Diagnostics), renderDiags(Analyze(prog))
+			if got != want {
+				t.Fatalf("%s: incremental diverges from full after mutation:\nsource:\n%s\nincremental:\n%s\nfull:\n%s",
+					f, src, got, want)
+			}
+			totalReused += res.Reused
+			if res.Analyzed < res.Total {
+				partialRuns++
+			}
+			steps++
+			return true
+		}
+
+		inc := NewIncremental()
+		cur := append([]byte(nil), srcB...)
+		if !check(cur, inc) {
+			continue // corpus kernel itself must compile; Glob'd set does
+		}
+		var digits []int
+		for i, b := range cur {
+			if b >= '0' && b <= '9' {
+				digits = append(digits, i)
+			}
+		}
+		if len(digits) == 0 {
+			continue
+		}
+		for round := 0; round < 20; round++ {
+			mut := append([]byte(nil), cur...)
+			mut[digits[rng.Intn(len(digits))]] = byte('0' + rng.Intn(10))
+			if check(mut, inc) {
+				cur = mut
+			}
+		}
+	}
+	if steps == 0 {
+		t.Fatal("fuzz performed no steps")
+	}
+	if totalReused == 0 {
+		t.Error("fuzz never reused a cached function result")
+	}
+	if partialRuns == 0 {
+		t.Error("fuzz never observed a partial (analyzed < total) run")
+	}
+	t.Logf("fuzz: %d steps, %d with reuse, %d functions spliced from cache", steps, partialRuns, totalReused)
+}
+
+// benchSrc builds an 8-function program whose last kernel embeds tag,
+// so two tags give two drafts differing in exactly one function with
+// identical line numbering.
+func benchSrc(tag string) string {
+	var sb strings.Builder
+	sb.WriteString("__device__ float scale(float *p, int i) {\n  return p[i] * 2.0f;\n}\n")
+	for k := 0; k < 6; k++ {
+		fmt.Fprintf(&sb, "__global__ void k%d(float *in, float *out, int n) {\n", k)
+		sb.WriteString("  int i = blockIdx.x * blockDim.x + threadIdx.x;\n")
+		sb.WriteString("  if (i < n) {\n    out[i] = scale(in, i);\n  }\n}\n")
+	}
+	fmt.Fprintf(&sb, "__global__ void draft(float *in, float *out, int n) {\n")
+	sb.WriteString("  int i = blockIdx.x * blockDim.x + threadIdx.x;\n")
+	fmt.Fprintf(&sb, "  if (i < n) {\n    out[i] = in[i] + %s;\n  }\n}\n", tag)
+	return sb.String()
+}
+
+// BenchmarkIncrementalReanalyze measures the dev-loop steady state: a
+// student alternates edits to one kernel of an 8-function file, and
+// each re-analysis should splice the other 7 functions from cache.
+func BenchmarkIncrementalReanalyze(b *testing.B) {
+	progA := compileT(b, benchSrc("1.0f"))
+	progB := compileT(b, benchSrc("2.0f"))
+	inc := NewIncremental()
+	inc.Analyze(progA) // warm
+	b.ReportAllocs()
+	b.ResetTimer()
+	analyzed, reused, total := 0, 0, 0
+	for i := 0; i < b.N; i++ {
+		p := progA
+		if i%2 == 1 {
+			p = progB
+		}
+		res := inc.Analyze(p)
+		analyzed += res.Analyzed
+		reused += res.Reused
+		total += res.Total
+	}
+	b.StopTimer()
+	if reused == 0 {
+		b.Fatal("no cached function results reused")
+	}
+	if b.N > 1 && analyzed >= total {
+		b.Fatalf("no incremental win: analyzed %d of %d function runs", analyzed, total)
+	}
+}

@@ -76,7 +76,8 @@ func (a *analyzer) checkPair(xi, yi int, reported map[string]bool) {
 	if y.wrapped && (xi < y.wrapLo || xi >= y.wrapHi) {
 		return
 	}
-	if x.pos.Line == y.pos.Line && x.pos.Col == y.pos.Col && x.write == y.write {
+	if x.pos.Line == y.pos.Line && x.pos.Col == y.pos.Col && x.write == y.write &&
+		x.csLine == y.csLine && x.csCol == y.csCol {
 		return // the same textual access paired with its own wrap copy
 	}
 	if sameThread(x, y) {
@@ -108,7 +109,14 @@ func (a *analyzer) checkPair(xi, yi int, reported map[string]bool) {
 
 	name := x.sym.Name
 	if provable {
-		a.diag(RuleRace, SevError, y.pos,
+		// A race where either side flowed through a device-function call
+		// gets its own rule ID: the fix usually lives at the call sites,
+		// not at the access text.
+		rule := RuleRace
+		if x.via != "" || y.via != "" {
+			rule = RuleRaceCall
+		}
+		a.diag(rule, SevError, y.pos,
 			fmt.Sprintf("shared-memory race on %s: %s of %s (%s) and %s (%s) in the same barrier interval; distinct threads touch the same element",
 				name, kind, x.expr, x.pos.Pos(), y.expr, y.pos.Pos()),
 			"separate the conflicting accesses with __syncthreads()")

@@ -1,0 +1,18 @@
+// True positive through calls: the helper both touches shared memory
+// and syncs; calling it under a thread-dependent condition diverges
+// the barrier even though the call site contains no __syncthreads
+// text. The summary marks the helper barrier-bearing, and the call
+// site's divergence depth does the rest.
+__device__ void stage(float *p, int i, float v) {
+  p[i] = v;
+  __syncthreads();
+}
+
+__global__ void copyHalf(float *in, float *out, int n) {
+  __shared__ float s[16];
+  int tx = threadIdx.x;
+  if (tx < 8) {
+    stage(s, tx, in[tx]);
+  }
+  out[tx] = s[tx];
+}

@@ -1,0 +1,15 @@
+// Clean: the call site guards i > 0, so the helper's p[i-1] never goes
+// negative. The guard's refinement narrows the argument's interval, and
+// bound substitution carries it through the summary — the same helper
+// that fires KC-OOB in interp_oob_helper is silent here.
+__device__ float left(float *p, int i) {
+  return p[i - 1];
+}
+
+__global__ void diffs(float *in, float *out, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  out[i] = 0.0f;
+  if (i > 0 && i < n) {
+    out[i] = in[i] - left(in, i);
+  }
+}

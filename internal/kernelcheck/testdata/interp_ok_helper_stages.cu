@@ -1,0 +1,15 @@
+// Clean: the helper's write and the caller's read land in different
+// barrier intervals because the helper itself executes the barrier.
+// Exercises the summary replay interleaving effects with the barriers
+// recorded before them (write at interval 0, barrier, read at 1).
+__device__ void putSync(float *p, int i, float v) {
+  p[i] = v;
+  __syncthreads();
+}
+
+__global__ void copy(float *in, float *out, int n) {
+  __shared__ float s[16];
+  int tx = threadIdx.x;
+  putSync(s, tx, in[tx]);
+  out[tx] = s[tx];
+}

@@ -1,0 +1,13 @@
+// True positive through calls: the off-by-one hides inside a helper.
+// The summary records the helper reads p[i-1]; substituting the global
+// thread index at the call site gives a minimum of -1, which traps on
+// block 0 / thread 0.
+//GUARD: expect=trap kernel=vecShift grid=2 block=8 n=16
+__device__ float left(float *p, int i) {
+  return p[i - 1];
+}
+
+__global__ void vecShift(float *in, float *out, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  out[i] = left(in, i);
+}

@@ -1,0 +1,15 @@
+// True positive through calls: the helper writes p[i] and the kernel
+// passes a constant index past the end of the only shared array, so
+// the store lands beyond the block's shared arena and traps.
+//GUARD: expect=trap kernel=fill grid=1 block=8 n=16
+__device__ void put(float *p, int i, float v) {
+  p[i] = v;
+}
+
+__global__ void fill(float *in, float *out, int n) {
+  __shared__ float s[16];
+  int tx = threadIdx.x;
+  put(s, 20, in[tx]);
+  __syncthreads();
+  out[tx] = s[tx];
+}

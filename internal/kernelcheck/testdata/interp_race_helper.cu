@@ -1,0 +1,21 @@
+// True positive through calls: the store and the shifted load both
+// live in device helpers, so neither racing access is textually in the
+// kernel. Thread t still reads the element thread t+1 writes with no
+// barrier between — the effect summaries carry both indexes back to
+// the call sites.
+//GUARD: expect=nondet kernel=shift grid=1 block=16 n=16
+__device__ void store(float *p, int i, float v) {
+  p[i] = v;
+}
+
+__device__ float loadShift(float *p, int i) {
+  return p[i + 1];
+}
+
+__global__ void shift(float *in, float *out, int n) {
+  __shared__ float s[17];
+  int tx = threadIdx.x;
+  int i = blockIdx.x * blockDim.x + tx;
+  store(s, tx, in[i]);
+  out[i] = loadShift(s, tx);
+}

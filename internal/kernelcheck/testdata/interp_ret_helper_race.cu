@@ -1,0 +1,18 @@
+// True positive through a returned index: the helper computes the
+// shifted index and the racing access itself sits in the kernel, so
+// the pair is a direct write against a read whose index flowed out of
+// a call. The return-value affine (arg + 1) substitutes cleanly, and
+// the race is the plain KC-RACE — no access was replayed from a
+// summary, only an index.
+//GUARD: expect=nondet kernel=shift grid=1 block=16 n=16
+__device__ int shifted(int i) {
+  return i + 1;
+}
+
+__global__ void shift(float *in, float *out, int n) {
+  __shared__ float s[17];
+  int tx = threadIdx.x;
+  int i = blockIdx.x * blockDim.x + tx;
+  s[tx] = in[i];
+  out[i] = s[shifted(tx)];
+}

@@ -1,0 +1,17 @@
+// Known limit (false negative): inside the helper the guard `i < 8`
+// reads a parameter, which the summary models as an opaque uniform
+// placeholder — so the barrier is not marked divergent even though the
+// kernel passes threadIdx.x and half the block skips it. Catching this
+// needs per-call-site taint on summary arguments. The golden records
+// today's (silent) behavior.
+__device__ void maybeSync(int i) {
+  if (i < 8) {
+    __syncthreads();
+  }
+}
+
+__global__ void halfSync(float *in, float *out, int n) {
+  int tx = threadIdx.x;
+  maybeSync(tx);
+  out[tx] = in[tx];
+}

@@ -1,3 +1,4 @@
+//kernelcheck:hotpath
 package kernelcheck
 
 import (
@@ -6,42 +7,6 @@ import (
 
 	"webgpu/internal/minicuda"
 )
-
-// fnSummary is the per-function information calls need: whether the
-// callee (transitively) reaches a barrier or reads a thread index.
-type fnSummary struct {
-	usesBarrier bool
-	usesTIdx    bool
-}
-
-// summarize computes call summaries with a small fixpoint over the call
-// graph (device functions cannot be recursive in practice, but the
-// iteration bound keeps a cycle from hanging the analyzer).
-func summarize(prog *minicuda.Program) map[*minicuda.Function]*fnSummary {
-	sums := make(map[*minicuda.Function]*fnSummary, len(prog.Funcs))
-	for _, fn := range prog.Funcs {
-		sums[fn] = &fnSummary{}
-	}
-	for iter := 0; iter < len(prog.Funcs)+1; iter++ {
-		changed := false
-		for _, fn := range prog.Funcs {
-			s := sums[fn]
-			b, t := scanFn(fn, sums)
-			if b && !s.usesBarrier {
-				s.usesBarrier = true
-				changed = true
-			}
-			if t && !s.usesTIdx {
-				s.usesTIdx = true
-				changed = true
-			}
-		}
-		if !changed {
-			break
-		}
-	}
-	return sums
-}
 
 func scanFn(fn *minicuda.Function, sums map[*minicuda.Function]*fnSummary) (barrier, tidx bool) {
 	walkNodes(fn.Body, func(n minicuda.Node) {
@@ -145,7 +110,12 @@ type access struct {
 	pins     string // canonical pin signature from == guards
 	pos      minicuda.Token
 	expr     string // rendered index for messages
-	wrapped  bool
+	via      string // device function the access was replayed from ("" = direct)
+	// Call-site position for replayed accesses: two calls to the same
+	// helper share the access's textual position, so the call site is
+	// what distinguishes their effect copies.
+	csLine, csCol int
+	wrapped       bool
 	// Wrap copies model the *next* iteration of a loop; they may only
 	// race with accesses recorded inside that loop's body, whose indexes
 	// span [wrapLo, wrapHi) in the access list.
@@ -172,9 +142,16 @@ type analyzer struct {
 	divDepth int // enclosing thread-dependent conditions
 	anyDepth int // enclosing conditions of any kind
 	record   bool
+	quiet    bool // suppress diagnostics (summary runs record accesses only)
+	interp   bool // replay precise callee summaries at call sites
 	exitWarn bool // a thread-dependent early return has occurred
 	nonnegT  map[string]bool
 	attained map[string]bool // uniform terms whose minimum 0 is attained
+
+	// Summary-collection state (set for buildEffects runs only).
+	trackSummary bool
+	retEvs       []ev
+	barrierLog   []barrierInfo
 
 	diags []Diagnostic
 
@@ -258,7 +235,7 @@ func (a *analyzer) run() {
 }
 
 func (a *analyzer) diag(id string, sev Severity, tok minicuda.Token, msg, hint string) {
-	if !a.record {
+	if !a.record || a.quiet {
 		return
 	}
 	a.diags = append(a.diags, Diagnostic{
@@ -306,7 +283,10 @@ func (a *analyzer) walkStmt(s minicuda.Stmt) bool {
 		return false
 	case *minicuda.ReturnStmt:
 		if st.X != nil {
-			a.eval(st.X)
+			v := a.eval(st.X)
+			if a.trackSummary && a.record {
+				a.retEvs = append(a.retEvs, v)
+			}
 		}
 		return true
 	case *minicuda.BreakStmt, *minicuda.ContinueStmt:

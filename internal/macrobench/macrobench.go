@@ -33,6 +33,11 @@ import (
 	"webgpu/internal/workload"
 )
 
+// now is the wall-clock seam: scenario timing flows through it so tests
+// can pin it, and tools/repolint bans direct time.Now calls in this
+// package to keep every duration measurement on the seam.
+var now = time.Now
+
 // Schema identifies the BENCH_macro.json layout for benchgate.
 const Schema = "webgpu-macro/v1"
 

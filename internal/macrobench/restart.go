@@ -56,8 +56,8 @@ func runRestartStorm(s Scenario) (Result, error) {
 		preload = len(sources) / 2
 	}
 
-	deadline := time.Now().Add(s.Timeout)
-	start := time.Now()
+	deadline := now().Add(s.Timeout)
+	start := now()
 
 	// Phase A: first boot. The cold pass compiles and persists every
 	// program; the warm re-pass sets the pre-restart latency baseline
@@ -130,7 +130,7 @@ func runRestartStorm(s Scenario) (Result, error) {
 	res.PreRestartP50Ms = p50ms(warm)
 	res.PostRestartP50Ms = p50ms(post)
 	res.summarize(post)
-	res.DurationMs = float64(time.Since(start)) / float64(time.Millisecond)
+	res.DurationMs = float64(now().Sub(start)) / float64(time.Millisecond)
 
 	if res.Recompiles != 0 {
 		return fail("rebooted platform recompiled %d sources (want 0; %d disk hits, %d preloaded, %d objects persisted)",
@@ -178,7 +178,7 @@ func submitWave(clients []*client, sources []string, seed int64, deadline time.T
 		go func(i int, c *client) {
 			defer wg.Done()
 			time.Sleep(offsets[i])
-			t0 := time.Now()
+			t0 := now()
 			for {
 				status, code, _, err := c.do("POST", "/api/v1/labs/"+benchLab+"/submit",
 					map[string]string{"source": sources[i]})
@@ -186,13 +186,13 @@ func submitWave(clients []*client, sources []string, seed int64, deadline time.T
 				case err != nil:
 					errs[i] = err
 				case status == http.StatusOK:
-					latencies[i] = time.Since(t0)
+					latencies[i] = now().Sub(t0)
 					errs[i] = nil
 					return
 				default:
 					errs[i] = fmt.Errorf("status %d code %q", status, code)
 				}
-				if time.Now().After(deadline) {
+				if now().After(deadline) {
 					return
 				}
 				time.Sleep(5 * time.Millisecond)

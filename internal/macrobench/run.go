@@ -133,7 +133,7 @@ func Run(s Scenario) (Result, error) {
 	hc := ts.Client()
 	hc.Timeout = s.Timeout
 
-	deadline := time.Now().Add(s.Timeout)
+	deadline := now().Add(s.Timeout)
 	ref := labs.ByID(benchLab).Reference
 
 	// Population: one account per submitter/reader/drafter, registered
@@ -255,14 +255,14 @@ func Run(s Scenario) (Result, error) {
 	offsets := jitters(s.Seed, len(submitters), 25*time.Millisecond)
 	latencies := make([]time.Duration, len(submitters))
 	errs := make([]error, len(submitters))
-	start := time.Now()
+	start := now()
 	var wg sync.WaitGroup
 	for i, c := range submitters {
 		wg.Add(1)
 		go func(i int, c *client) {
 			defer wg.Done()
 			time.Sleep(offsets[i])
-			t0 := time.Now()
+			t0 := now()
 			for {
 				status, code, _, err := c.do("POST", "/api/v1/labs/"+benchLab+"/submit",
 					map[string]string{"source": ref})
@@ -270,7 +270,7 @@ func Run(s Scenario) (Result, error) {
 				case err != nil:
 					errs[i] = err
 				case status == http.StatusOK:
-					latencies[i] = time.Since(t0)
+					latencies[i] = now().Sub(t0)
 					errs[i] = nil
 					return
 				case status == http.StatusTooManyRequests && code == ErrCodeOverloaded:
@@ -281,7 +281,7 @@ func Run(s Scenario) (Result, error) {
 				default:
 					errs[i] = fmt.Errorf("status %d code %q", status, code)
 				}
-				if time.Now().After(deadline) {
+				if now().After(deadline) {
 					return
 				}
 				atomic.AddInt64(&submitRetries, 1)
@@ -292,7 +292,7 @@ func Run(s Scenario) (Result, error) {
 	wg.Wait()
 	close(stopBG)
 	bg.Wait()
-	res.DurationMs = float64(time.Since(start)) / float64(time.Millisecond)
+	res.DurationMs = float64(now().Sub(start)) / float64(time.Millisecond)
 
 	for _, err := range errs {
 		if err == nil {
@@ -326,7 +326,7 @@ func Run(s Scenario) (Result, error) {
 				len(p.Broker.DeadLetters()) == 0 {
 				break
 			}
-			if time.Now().After(deadline) {
+			if now().After(deadline) {
 				return fail(reg, "drain stalled: jobs depth=%d, results depth=%d, dead=%d",
 					p.Broker.Depth(worker.TopicJobs), p.Broker.Depth(worker.TopicResults),
 					len(p.Broker.DeadLetters()))
@@ -334,7 +334,7 @@ func Run(s Scenario) (Result, error) {
 			time.Sleep(5 * time.Millisecond)
 		}
 		// Leases for redriven/abandoned jobs may still be settling.
-		for p.Broker.Unaccounted() != 0 && !time.Now().After(deadline) {
+		for p.Broker.Unaccounted() != 0 && !now().After(deadline) {
 			time.Sleep(5 * time.Millisecond)
 		}
 		res.LostJobs = p.Broker.Unaccounted()

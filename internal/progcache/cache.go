@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"webgpu/internal/castore"
 	"webgpu/internal/kernelcheck"
@@ -73,13 +74,16 @@ type Stats struct {
 	BytecodeBytes    int64 // lowered-bytecode bytes held by cached entries
 }
 
-// Castore blob names per artifact family: the three program kinds are one
-// serialized stream (the decoded program carries all of them), diagnostics
-// persist as JSON beside it.
-const (
-	ProgBlob = "prog"
-	DiagBlob = "diag"
-)
+// ProgBlob is the castore blob name for the serialized program: the
+// three program kinds are one stream (the decoded program carries all
+// of them).
+const ProgBlob = "prog"
+
+// DiagBlob is the castore blob name diagnostics persist under as JSON.
+// It embeds the analyzer's ruleset version, so bumping
+// kernelcheck.RulesetVersion orphans stale persisted diagnostics
+// instead of serving findings an older ruleset produced.
+var DiagBlob = "diag-" + kernelcheck.RulesetVersion
 
 // artifactSpec registers one cacheable artifact kind: the name used for
 // metrics and dashboards, and the castore blob it persists into.
@@ -131,8 +135,11 @@ type entry struct {
 	bcBytes int64 // bytecode artifact size, counted into Stats.BytecodeBytes
 
 	// Diagnostics are a derived artifact, computed on first request and
-	// then served from the entry like the program itself.
+	// then served from the entry like the program itself. diagsDone flips
+	// inside the Once body so CachedDiagnostics can answer without
+	// racing a concurrent fill.
 	diagsOnce sync.Once
+	diagsDone atomic.Bool
 	diags     []kernelcheck.Diagnostic
 }
 
@@ -379,6 +386,7 @@ func (c *Cache) Diagnostics(src string, dialect minicuda.Dialect) ([]kernelcheck
 	c.mu.Unlock()
 	analyzed, fromDisk := false, false
 	e.diagsOnce.Do(func() {
+		defer e.diagsDone.Store(true)
 		// Read-through: diagnostics persist as JSON beside the program
 		// artifact. An unparseable entry is discarded and re-analyzed.
 		if store != nil {
@@ -413,6 +421,52 @@ func (c *Cache) Diagnostics(src string, dialect minicuda.Dialect) ([]kernelcheck
 	}
 	c.mu.Unlock()
 	return e.diags, nil
+}
+
+// CachedDiagnostics returns the already-computed diagnostics for the
+// source if its entry is resident in memory with a finished analysis —
+// no compile, no disk read, no analysis is triggered. Callers that
+// maintain their own analysis engine (the devsession incremental loop)
+// use this to skip work the shared cache already holds, and seed the
+// cache through PutDiagnostics when it does not.
+func (c *Cache) CachedDiagnostics(src string, dialect minicuda.Dialect) ([]kernelcheck.Diagnostic, bool) {
+	key := Key(src, dialect)
+	c.mu.Lock()
+	e := c.entries[key]
+	c.mu.Unlock()
+	if e == nil || e.err != nil || !e.diagsDone.Load() {
+		return nil, false
+	}
+	c.mu.Lock()
+	c.stats.HitsDiagnostics++
+	c.inc("progcache_hits_diagnostics")
+	c.mu.Unlock()
+	return e.diags, true
+}
+
+// PutDiagnostics seeds the entry's diagnostics artifact with an
+// externally computed result (the devsession incremental engine, whose
+// output is byte-identical to Analyze by construction) and persists it
+// to the durable store. A no-op if the entry is absent, failed to
+// compile, or already carries diagnostics.
+func (c *Cache) PutDiagnostics(src string, dialect minicuda.Dialect, diags []kernelcheck.Diagnostic) {
+	key := Key(src, dialect)
+	c.mu.Lock()
+	e := c.entries[key]
+	store := c.store
+	c.mu.Unlock()
+	if e == nil || e.err != nil {
+		return
+	}
+	e.diagsOnce.Do(func() {
+		defer e.diagsDone.Store(true)
+		e.diags = diags
+		if store != nil {
+			if data, merr := json.Marshal(diags); merr == nil {
+				_ = store.Put(key, DiagBlob, data)
+			}
+		}
+	})
 }
 
 // WarmStart eagerly decodes up to n of the store's hottest program

@@ -3,17 +3,27 @@
 // (barrier divergence, shared-memory races, bounds, coalescing/bank
 // advisories, hygiene), usable locally before pushing a lab or example.
 //
-// Usage: kernelcheck [-dialect auto|cuda|opencl] [-fail-on error|warn|never] <file|dir>...
+// Usage: kernelcheck [-dialect auto|cuda|opencl] [-fail-on error|warn|never]
+// [-json] [-interprocedural=false] <file|dir>...
 //
-// Directories are walked for .cu and .cl files. The exit code is 1 when
-// any file produces a diagnostic at or above the -fail-on severity
-// (default: error), 2 on usage or I/O problems. Compile errors always
-// fail: a kernel that does not compile cannot be analyzed.
+// Directories are walked for .cu and .cl files. -json prints one JSON
+// object per file (stable field order: file, compile_error, diagnostics;
+// each diagnostic carries its rule ID, severity, and position) instead
+// of the human lines. -interprocedural=false falls back to treating
+// device-function calls opaquely, for triaging whether a finding depends
+// on effect-summary substitution.
+//
+// The exit code is 1 when any file fails to compile or produces a
+// diagnostic at or above the -fail-on severity (default: error), 2 on
+// usage or I/O problems (unknown flags, unreadable paths, no kernel
+// files found).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -25,18 +35,38 @@ import (
 )
 
 func main() {
-	dialectFlag := flag.String("dialect", "auto",
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// fileResult is one file's outcome in -json mode. Diagnostics is never
+// null so consumers can always range over it.
+type fileResult struct {
+	File         string                   `json:"file"`
+	CompileError string                   `json:"compile_error,omitempty"`
+	Diagnostics  []kernelcheck.Diagnostic `json:"diagnostics"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fl := flag.NewFlagSet("kernelcheck", flag.ContinueOnError)
+	fl.SetOutput(stderr)
+	dialectFlag := fl.String("dialect", "auto",
 		"kernel dialect: auto (by extension/content), cuda, or opencl")
-	failOn := flag.String("fail-on", "error",
+	failOn := fl.String("fail-on", "error",
 		"minimum severity that makes the exit code nonzero: error, warn, or never")
-	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: kernelcheck [-dialect auto|cuda|opencl] [-fail-on error|warn|never] <file|dir>...")
-		flag.PrintDefaults()
+	jsonOut := fl.Bool("json", false,
+		"emit one JSON object per file instead of human-readable lines")
+	interp := fl.Bool("interprocedural", true,
+		"analyze device-function calls through effect summaries (false: calls are opaque)")
+	fl.Usage = func() {
+		fmt.Fprintln(stderr, "usage: kernelcheck [-dialect auto|cuda|opencl] [-fail-on error|warn|never] [-json] [-interprocedural=false] <file|dir>...")
+		fl.PrintDefaults()
 	}
-	flag.Parse()
-	if flag.NArg() == 0 {
-		flag.Usage()
-		os.Exit(2)
+	if err := fl.Parse(args); err != nil {
+		return 2
+	}
+	if fl.NArg() == 0 {
+		fl.Usage()
+		return 2
 	}
 	var threshold int
 	switch *failOn {
@@ -47,47 +77,81 @@ func main() {
 	case "never":
 		threshold = 4 // above every real severity
 	default:
-		fmt.Fprintf(os.Stderr, "kernelcheck: unknown -fail-on %q\n", *failOn)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "kernelcheck: unknown -fail-on %q\n", *failOn)
+		return 2
 	}
 
-	files, err := collect(flag.Args())
+	files, err := collect(fl.Args())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "kernelcheck:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "kernelcheck:", err)
+		return 2
 	}
 	if len(files) == 0 {
-		fmt.Fprintln(os.Stderr, "kernelcheck: no .cu or .cl files found")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "kernelcheck: no .cu or .cl files found")
+		return 2
 	}
 
+	enc := json.NewEncoder(stdout)
 	failed := false
 	total := 0
 	for _, path := range files {
 		raw, err := os.ReadFile(path)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "kernelcheck:", err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "kernelcheck:", err)
+			return 2
 		}
 		src := string(raw)
-		diags, err := kernelcheck.AnalyzeSource(src, pickDialect(*dialectFlag, path, src))
+		diags, err := analyzeSource(src, pickDialect(*dialectFlag, path, src), *interp)
+		if *jsonOut {
+			res := fileResult{File: path, Diagnostics: diags}
+			if res.Diagnostics == nil {
+				res.Diagnostics = []kernelcheck.Diagnostic{}
+			}
+			if err != nil {
+				res.CompileError = err.Error()
+			}
+			if eerr := enc.Encode(res); eerr != nil {
+				fmt.Fprintln(stderr, "kernelcheck:", eerr)
+				return 2
+			}
+		}
 		if err != nil {
-			fmt.Printf("%s: compile error: %v\n", path, err)
+			if !*jsonOut {
+				fmt.Fprintf(stdout, "%s: compile error: %v\n", path, err)
+			}
 			failed = true
 			continue
 		}
 		total += len(diags)
 		for _, d := range diags {
-			fmt.Printf("%s:%s\n", path, d)
+			if !*jsonOut {
+				fmt.Fprintf(stdout, "%s:%s\n", path, d)
+			}
 			if severityRank(d.Severity) >= threshold {
 				failed = true
 			}
 		}
 	}
-	fmt.Printf("kernelcheck: %d file(s), %d diagnostic(s)\n", len(files), total)
-	if failed {
-		os.Exit(1)
+	if !*jsonOut {
+		fmt.Fprintf(stdout, "kernelcheck: %d file(s), %d diagnostic(s)\n", len(files), total)
 	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+// analyzeSource compiles and analyzes one source, interprocedurally or
+// with opaque calls.
+func analyzeSource(src string, dialect minicuda.Dialect, interp bool) ([]kernelcheck.Diagnostic, error) {
+	if interp {
+		return kernelcheck.AnalyzeSource(src, dialect)
+	}
+	prog, err := minicuda.Compile(src, dialect)
+	if err != nil {
+		return nil, err
+	}
+	return kernelcheck.AnalyzeIntra(prog), nil
 }
 
 // collect expands the arguments into a sorted, de-duplicated list of
